@@ -1,0 +1,89 @@
+"""Ablations — per-technique contributions and the §5 extensions.
+
+The paper evaluates pioBLAST as a bundle; DESIGN.md calls out each
+design choice, and these benches quantify them separately:
+
+- collective output vs master-serialized writes of cached blocks,
+- range-based parallel input vs whole-file reads,
+- early score communication (§5): merge work saved, output unchanged,
+- adaptive granularity (§5) on a heterogeneous cluster,
+- the query-segmentation prior-generation baseline (§2.1).
+"""
+
+from repro.experiments.ablations import (
+    render_ablation,
+    run_granularity_ablation,
+    run_input_ablation,
+    run_output_ablation,
+    run_pruning_ablation,
+    run_queryseg_comparison,
+)
+
+
+def test_collective_output_ablation(benchmark, archive):
+    rows = benchmark.pedantic(run_output_ablation, rounds=1, iterations=1)
+    archive(
+        "ablation_output",
+        render_ablation("Ablation — collective vs serialized output "
+                        "(32 procs, Altix)", rows),
+    )
+    collective, serialized, mpi = rows
+    assert collective.breakdown.output < serialized.breakdown.output
+    assert serialized.breakdown.output < mpi.breakdown.output
+
+
+def test_parallel_input_ablation(benchmark, archive):
+    rows = benchmark.pedantic(run_input_ablation, rounds=1, iterations=1)
+    archive(
+        "ablation_input",
+        render_ablation("Ablation — range input vs whole-file input "
+                        "(16 procs, NFS blade)", rows),
+    )
+    ranged, whole = rows
+    assert ranged.breakdown.copy_input < whole.breakdown.copy_input / 2
+
+
+def test_early_score_pruning(benchmark, archive):
+    (rows, identical) = benchmark.pedantic(
+        run_pruning_ablation, rounds=1, iterations=1
+    )
+    archive(
+        "ablation_pruning",
+        render_ablation("Extension §5 — early score communication "
+                        "(16 procs)", rows)
+        + f"\n  output identical: {identical}",
+    )
+    off, on = rows
+    assert identical  # pruning must be invisible in the report
+    assert on.breakdown.output <= off.breakdown.output + 1e-9
+
+
+def test_adaptive_granularity(benchmark, archive):
+    rows = benchmark.pedantic(
+        run_granularity_ablation, rounds=1, iterations=1
+    )
+    archive(
+        "ablation_granularity",
+        render_ablation("Extension §5 — adaptive granularity on a "
+                        "heterogeneous cluster", rows),
+    )
+    natural, adaptive, fine = rows
+    # The work queue absorbs the slow nodes...
+    assert adaptive.breakdown.total < natural.breakdown.total
+    # ...but over-fragmenting pays per-fragment overhead (the paper's
+    # granularity/overhead compromise).
+    assert fine.breakdown.total > adaptive.breakdown.total
+
+
+def test_query_segmentation_baseline(benchmark, archive):
+    rows = benchmark.pedantic(
+        run_queryseg_comparison, rounds=1, iterations=1
+    )
+    archive(
+        "ablation_queryseg",
+        render_ablation("Baseline §2.1 — query segmentation vs database "
+                        "segmentation (16 procs, NFS blade)", rows),
+    )
+    qseg, pio = rows
+    # Query segmentation pays the whole database on every worker.
+    assert qseg.breakdown.copy_input > 3 * pio.breakdown.copy_input

@@ -1,0 +1,20 @@
+"""Figure 1(a) — mpiBLAST search vs non-search time at 16/32/64 procs.
+
+Paper: search share slides from 95.6% (16) to 70.7% (64) — the
+motivating observation that non-search overhead grows with parallelism.
+"""
+
+from repro.experiments.fig1a import render_fig1a, run_fig1a
+
+
+def test_fig1a_search_share_erodes(benchmark, archive):
+    res = benchmark.pedantic(run_fig1a, rounds=1, iterations=1)
+    archive("fig1a", render_fig1a(res))
+    shares = res.search_shares()
+    counts = sorted(shares)
+    # Monotone erosion of the search share.
+    for a, b in zip(counts, counts[1:]):
+        assert shares[a] > shares[b]
+    # Non-search time grows in absolute terms too.
+    ns = {p: res.breakdowns[p].non_search for p in counts}
+    assert ns[counts[-1]] > ns[counts[0]]

@@ -1,0 +1,27 @@
+"""Figure 1(b) — mpiBLAST vs fragment count at 32 processes.
+
+Paper: {31, 61, 96, 167} fragments; both search and non-search time
+rise with the fragment count, so pre-fragmenting for future bigger runs
+is not viable — the motivation for dynamic partitioning.
+"""
+
+from repro.experiments.fig1b import render_fig1b, run_fig1b
+
+
+def test_fig1b_fragment_sensitivity(benchmark, archive):
+    res = benchmark.pedantic(run_fig1b, rounds=1, iterations=1)
+    archive("fig1b", render_fig1b(res))
+    counts = sorted(res.breakdowns)
+    totals = [res.breakdowns[f].total for f in counts]
+    assert totals == sorted(totals)  # monotone rise
+    # Degradation is substantial across the sweep (paper: ~3x).
+    assert totals[-1] > 1.5 * totals[0]
+    # Both components contribute.
+    assert (
+        res.breakdowns[counts[-1]].search
+        > res.breakdowns[counts[0]].search
+    )
+    assert (
+        res.breakdowns[counts[-1]].non_search
+        > res.breakdowns[counts[0]].non_search
+    )

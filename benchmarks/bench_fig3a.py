@@ -1,0 +1,30 @@
+"""Figure 3(a) — node scalability on the Altix, 4 → 62 processes.
+
+Paper: pioBLAST keeps scaling (1.86x from 32 to 62 procs, 92.4% search
+share at 61 workers); mpiBLAST bottoms out and *regresses* once more
+than ~31 workers feed the serialized master (10.3% search share at 61).
+"""
+
+from repro.experiments.fig3a import render_fig3a, run_fig3a
+
+
+def test_fig3a_scalability(benchmark, archive):
+    res = benchmark.pedantic(run_fig3a, rounds=1, iterations=1)
+    archive("fig3a", render_fig3a(res))
+    counts = sorted(res.pio)
+    # pio total monotone decreasing over the whole sweep.
+    pio_totals = [res.pio[p].total for p in counts]
+    assert pio_totals == sorted(pio_totals, reverse=True)
+    # mpi regresses: the 62-process run is slower than its best point.
+    mpi_totals = {p: res.mpi[p].total for p in counts}
+    assert mpi_totals[62] > min(mpi_totals.values())
+    # pio wins everywhere, by a growing factor.
+    assert res.mpi[62].total / res.pio[62].total > res.mpi[
+        counts[0]
+    ].total / res.pio[counts[0]].total
+    # Search-share endpoints in the paper's regime.
+    assert res.pio[62].search_share > 0.80  # paper 92.4%
+    assert res.mpi[62].search_share < 0.30  # paper 10.3%
+    # pio 32 -> 62 speedup close to the paper's 1.86x.
+    if 32 in res.pio:
+        assert 1.2 < res.pio[32].total / res.pio[62].total < 2.5

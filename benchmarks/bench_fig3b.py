@@ -1,0 +1,26 @@
+"""Figure 3(b) — output-size scalability at 62 processes.
+
+Paper: over the Table-2 query sets, mpiBLAST's total is dominated by
+output handling and grows steeply with output size; pioBLAST's total is
+dominated by search, and its non-search time less than doubles from the
+11 MB to the 153 MB output.
+"""
+
+from repro.experiments.fig3b import render_fig3b, run_fig3b
+
+
+def test_fig3b_output_scalability(benchmark, archive):
+    res = benchmark.pedantic(run_fig3b, rounds=1, iterations=1)
+    archive("fig3b", render_fig3b(res))
+    rows = res.rows
+    # Totals scale with output size for both programs.
+    assert [r.mpi.total for r in rows] == sorted(r.mpi.total for r in rows)
+    assert [r.pio.total for r in rows] == sorted(r.pio.total for r in rows)
+    # mpi is output-dominated at the largest size; pio search-dominated.
+    big = rows[-1]
+    assert big.mpi.output > big.mpi.search
+    assert big.pio.search > big.pio.output
+    # pio's non-search time grows far slower than mpi's.
+    pio_growth = big.pio.non_search / max(rows[0].pio.non_search, 1e-9)
+    mpi_growth = big.mpi.non_search / max(rows[0].mpi.non_search, 1e-9)
+    assert pio_growth < mpi_growth

@@ -1,0 +1,23 @@
+"""formatdb / mpiformatdb preprocessing cost (§3.1).
+
+Paper: formatdb takes ~6 min for the 1 GB nr and ~22 min for the 11 GB
+nt on an Altix head node, and mpiBLAST re-pays partitioning whenever the
+fragment count changes; pioBLAST repartitions at run time for free.
+"""
+
+from repro.experiments.formatdb_cost import render_formatdb, run_formatdb_cost
+
+
+def test_formatdb_cost(benchmark, archive):
+    res = benchmark.pedantic(run_formatdb_cost, rounds=1, iterations=1)
+    archive("formatdb", render_formatdb(res))
+    # Re-partitioning costs real time per fragment count...
+    assert all(t > 0 for t in res.repartition_seconds.values())
+    # ...and leaves 3 files per fragment on shared storage.
+    for f, nfiles in res.files_mpiblast.items():
+        assert nfiles == 3 * f
+    # The global database is always exactly 3 files.
+    assert res.files_pioblast == 3
+    # Projected paper-scale costs keep the nt/nr ratio (11x data).
+    ratio = res.projected_nt_seconds / res.projected_nr_seconds
+    assert abs(ratio - 11.0) < 1e-6

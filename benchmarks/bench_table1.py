@@ -1,0 +1,17 @@
+"""Table 1 — the headline result: phase breakdown at 32 processes.
+
+Paper: mpiBLAST 17.1/318.5/1007.2/11.3 = 1354.1 s vs pioBLAST
+0.4/281.7/15.4/10.4 = 307.9 s (4.4x overall, 65x on the output stage).
+"""
+
+from repro.experiments.table1 import render_table1, run_table1
+
+
+def test_table1_breakdown(benchmark, archive):
+    res = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    archive("table1", render_table1(res))
+    # Shape assertions (the reproduction's acceptance criteria).
+    assert res.speedup > 3.0  # paper: 4.4x
+    assert res.output_improvement > 20  # paper: 65x
+    assert res.pio.search_share > 0.85  # paper: 95.5%
+    assert res.mpi.search_share < 0.35  # paper: 24.5%

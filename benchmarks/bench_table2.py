@@ -1,0 +1,20 @@
+"""Table 2 — query size vs output size.
+
+Paper: 26/77/159/289 KB query sets produce 11/47/96/153 MB outputs —
+output grows roughly linearly with the query set.
+"""
+
+from repro.experiments.common import PAPER_COSTS
+from repro.experiments.table2 import render_table2, run_table2
+
+
+def test_table2_output_scaling(benchmark, archive):
+    res = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    archive("table2", render_table2(res, PAPER_COSTS.data_scale))
+    outs = [r.output_bytes for r in res.rows]
+    qs = [r.query_bytes for r in res.rows]
+    assert outs == sorted(outs)
+    # Roughly linear: the output/query ratio stays within a 2.5x band
+    # across the sweep (paper's band is ~1.5x).
+    ratios = [o / q for o, q in zip(outs, qs)]
+    assert max(ratios) < 2.5 * min(ratios)

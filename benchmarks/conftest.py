@@ -1,0 +1,23 @@
+"""Benchmark support: every bench renders a paper-vs-measured table,
+prints it, and archives it under ``benchmarks/results/`` so
+EXPERIMENTS.md can be regenerated from a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def archive():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save

@@ -1,0 +1,74 @@
+"""repro.blast — a from-scratch BLAST engine.
+
+Implements the full classic BLAST pipeline (Altschul et al. 1990, with
+the two-hit and gapped-extension refinements of BLAST 2.0):
+
+- FASTA parsing (:mod:`repro.blast.fasta`),
+- residue alphabets and encodings (:mod:`repro.blast.alphabet`),
+- scoring matrices (:mod:`repro.blast.matrices`),
+- Karlin–Altschul statistics: λ, K, H, effective lengths, E-values
+  (:mod:`repro.blast.karlin`),
+- neighbourhood-word seeding with the two-hit heuristic
+  (:mod:`repro.blast.seeding`),
+- X-drop ungapped and gapped extensions with traceback
+  (:mod:`repro.blast.extend`),
+- HSP bookkeeping and culling (:mod:`repro.blast.hsp`),
+- the search driver (:mod:`repro.blast.engine`),
+- ``formatdb``-style binary databases with volumes
+  (:mod:`repro.blast.formatdb`),
+- the NCBI-flavoured text report writer (:mod:`repro.blast.output`).
+
+The report writer is deliberately factored so that per-alignment blocks
+can be produced *independently of the rest of the report* with exactly
+known byte sizes — that is the property pioBLAST's offset-computed
+collective output relies on.
+"""
+
+from repro.blast.alphabet import PROTEIN, DNA, Alphabet
+from repro.blast.fasta import SeqRecord, parse_fasta, write_fasta
+from repro.blast.matrices import blosum62, dna_matrix, get_matrix
+from repro.blast.karlin import KarlinParams, karlin_params, gapped_params
+from repro.blast.hsp import HSP, Alignment
+from repro.blast.engine import BlastSearch, SearchParams, blastp_search, blastn_search
+from repro.blast.formatdb import (
+    FormattedDatabase,
+    DatabaseIndex,
+    DatabaseVolume,
+    formatdb,
+)
+from repro.blast.output import ReportWriter, format_evalue
+from repro.blast.translate import (
+    six_frame_translations,
+    tblastn_search,
+    translate,
+)
+
+__all__ = [
+    "PROTEIN",
+    "DNA",
+    "Alphabet",
+    "SeqRecord",
+    "parse_fasta",
+    "write_fasta",
+    "blosum62",
+    "dna_matrix",
+    "get_matrix",
+    "KarlinParams",
+    "karlin_params",
+    "gapped_params",
+    "HSP",
+    "Alignment",
+    "BlastSearch",
+    "SearchParams",
+    "blastp_search",
+    "blastn_search",
+    "FormattedDatabase",
+    "DatabaseIndex",
+    "DatabaseVolume",
+    "formatdb",
+    "ReportWriter",
+    "format_evalue",
+    "six_frame_translations",
+    "tblastn_search",
+    "translate",
+]

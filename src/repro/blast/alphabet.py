@@ -1,0 +1,93 @@
+"""Residue alphabets and integer encodings.
+
+Sequences are encoded as ``uint8`` NumPy arrays indexing into the score
+matrices.  The protein alphabet follows NCBIstdaa ordering conventions
+for the 20 standard residues plus the ambiguity codes BLAST tolerates
+(B, Z, X and the stop ``*``); DNA covers ACGT plus N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered residue alphabet with encode/decode tables."""
+
+    name: str
+    letters: str  # index -> letter
+    wildcard: str  # letter unknown input maps to
+    _to_code: dict[str, int] = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        table = {c: i for i, c in enumerate(self.letters)}
+        if self.wildcard not in table:
+            raise ValueError(f"wildcard {self.wildcard!r} not in alphabet")
+        object.__setattr__(self, "_to_code", table)
+
+    def __len__(self) -> int:
+        return len(self.letters)
+
+    @property
+    def size(self) -> int:
+        return len(self.letters)
+
+    @property
+    def wildcard_code(self) -> int:
+        return self._to_code[self.wildcard]
+
+    def encode(self, seq: str) -> np.ndarray:
+        """Encode a residue string to codes; unknown letters → wildcard."""
+        wc = self.wildcard_code
+        # Upper-case first: some characters expand under .upper()
+        # (e.g. 'ß' → 'SS'), so the length must be taken afterwards.
+        up = seq.upper()
+        out = np.empty(len(up), dtype=np.uint8)
+        table = self._to_code
+        for i, ch in enumerate(up):
+            out[i] = table.get(ch, wc)
+        return out
+
+    def decode(self, codes: np.ndarray | bytes) -> str:
+        """Decode codes back to a residue string."""
+        if isinstance(codes, (bytes, bytearray, memoryview)):
+            codes = np.frombuffer(bytes(codes), dtype=np.uint8)
+        letters = self.letters
+        return "".join(letters[int(c)] for c in codes)
+
+    def is_valid_strict(self, seq: str) -> bool:
+        """True if every letter is in the alphabet (no wildcard mapping)."""
+        return all(ch in self._to_code for ch in seq.upper())
+
+
+# 20 standard residues first (word seeding enumerates only these),
+# then ambiguity codes.  Index order here is the matrix row order.
+PROTEIN = Alphabet(
+    name="protein",
+    letters="ARNDCQEGHILKMFPSTWYVBZX*",
+    wildcard="X",
+)
+
+#: Number of unambiguous protein residues (word enumeration space).
+NUM_STD_AA = 20
+
+DNA = Alphabet(
+    name="dna",
+    letters="ACGTN",
+    wildcard="N",
+)
+
+#: Number of unambiguous nucleotides.
+NUM_STD_NT = 4
+
+
+def alphabet_for_program(program: str) -> Alphabet:
+    """Alphabet used by a BLAST program name ('blastp' or 'blastn')."""
+    if program == "blastp":
+        return PROTEIN
+    if program == "blastn":
+        return DNA
+    raise ValueError(f"unsupported program {program!r}")

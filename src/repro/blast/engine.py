@@ -1,0 +1,597 @@
+"""The BLAST search driver.
+
+``BlastSearch`` wires the pipeline together: word index → scan →
+two-hit triggers → ungapped X-drop extensions → gapped X-drop
+extensions (when the best ungapped score reaches the gap trigger) →
+containment culling → Karlin–Altschul statistics → ranked alignments.
+
+Statistics note for parallel correctness: E-values are always computed
+against the *global* database size (``db_letters``/``db_num_seqs``
+arguments), even when only a fragment is being searched — this mirrors
+mpiBLAST, and it is what makes fragment results mergeable into exactly
+the output a serial whole-database search produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.blast.alphabet import (
+    DNA,
+    NUM_STD_AA,
+    NUM_STD_NT,
+    PROTEIN,
+    Alphabet,
+)
+from repro.blast.extend import extend_gapped, ungapped_extend
+from repro.blast.fasta import SeqRecord
+from repro.blast.hsp import HSP, Alignment, QueryResult, cull_contained
+from repro.blast.karlin import (
+    effective_search_space,
+    gapped_params,
+    karlin_params,
+)
+from repro.blast.matrices import dna_matrix, get_matrix
+from repro.blast.seeding import (
+    SeedStats,
+    WordIndex,
+    one_hit_triggers,
+    two_hit_triggers,
+)
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """Knobs of a BLAST search (NCBI-flavoured defaults)."""
+
+    program: str = "blastp"
+    matrix_name: str = "BLOSUM62"
+    gap_open: int = 11
+    gap_extend: int = 1
+    gapped: bool = True
+    word_size: int = 0  # 0 → program default (3 for blastp, 11 for blastn)
+    threshold: int = 11  # neighbourhood score threshold T
+    two_hit_window: int = 40  # A
+    x_drop_ungapped: int = 16  # raw score units
+    x_drop_gapped: int = 38
+    expect: float = 10.0
+    gap_trigger_bits: float = 22.0
+    max_alignments: int = 100  # per query, applied after global ranking
+    dna_match: int = 1
+    dna_mismatch: int = -3
+
+    def __post_init__(self) -> None:
+        if self.program not in ("blastp", "blastn"):
+            raise ValueError(f"unsupported program {self.program!r}")
+        if self.gap_open < 0 or self.gap_extend < 1:
+            raise ValueError("need gap_open >= 0 and gap_extend >= 1")
+        if self.word_size < 0:
+            raise ValueError("word_size must be >= 0 (0 = program default)")
+        if self.expect <= 0:
+            raise ValueError("expect threshold must be positive")
+        if self.max_alignments < 1:
+            raise ValueError("max_alignments must be >= 1")
+        if self.x_drop_ungapped < 1 or self.x_drop_gapped < 1:
+            raise ValueError("X-drop parameters must be >= 1")
+        if self.two_hit_window < self.effective_word_size:
+            raise ValueError("two_hit_window must cover at least one word")
+
+    @property
+    def effective_word_size(self) -> int:
+        if self.word_size:
+            return self.word_size
+        return 3 if self.program == "blastp" else 11
+
+
+@dataclass
+class SearchStats:
+    """Work counters (drives the simulator's cost model)."""
+
+    queries: int = 0
+    subjects: int = 0
+    letters_scanned: int = 0
+    word_hits: int = 0
+    triggers: int = 0
+    ungapped_extensions: int = 0
+    gapped_extensions: int = 0
+    alignments: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        self.queries += other.queries
+        self.subjects += other.subjects
+        self.letters_scanned += other.letters_scanned
+        self.word_hits += other.word_hits
+        self.triggers += other.triggers
+        self.ungapped_extensions += other.ungapped_extensions
+        self.gapped_extensions += other.gapped_extensions
+        self.alignments += other.alignments
+
+
+class SequenceDatabase(Protocol):
+    """What the driver needs from a database (or database fragment)."""
+
+    @property
+    def num_sequences(self) -> int: ...
+
+    @property
+    def total_letters(self) -> int: ...
+
+    def get_codes(self, i: int) -> np.ndarray: ...
+
+    def get_defline(self, i: int) -> str: ...
+
+    def get_length(self, i: int) -> int: ...
+
+
+class ListDatabase:
+    """In-memory :class:`SequenceDatabase` over FASTA records."""
+
+    def __init__(self, records: list[SeqRecord], alphabet: Alphabet):
+        self.records = list(records)
+        self.alphabet = alphabet
+        self._codes = [alphabet.encode(r.sequence) for r in self.records]
+
+    @property
+    def num_sequences(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_letters(self) -> int:
+        return sum(len(c) for c in self._codes)
+
+    def get_codes(self, i: int) -> np.ndarray:
+        return self._codes[i]
+
+    def get_defline(self, i: int) -> str:
+        return self.records[i].defline
+
+    def get_length(self, i: int) -> int:
+        return len(self._codes[i])
+
+
+class BlastSearch:
+    """A configured search engine, reusable across queries and fragments."""
+
+    def __init__(self, params: SearchParams | None = None):
+        self.params = params if params is not None else SearchParams()
+        p = self.params
+        if p.program == "blastp":
+            self.alphabet = PROTEIN
+            self.nstd = NUM_STD_AA
+            self.matrix = get_matrix(p.matrix_name)
+            self.ungapped = karlin_params(self.matrix)
+            self.stats_params = (
+                gapped_params(
+                    p.matrix_name, p.gap_open, p.gap_extend, ungapped=self.ungapped
+                )
+                if p.gapped
+                else self.ungapped
+            )
+        elif p.program == "blastn":
+            self.alphabet = DNA
+            self.nstd = NUM_STD_NT
+            self.matrix = dna_matrix(p.dna_match, p.dna_mismatch)
+            self.ungapped = karlin_params(self.matrix, alphabet=DNA)
+            # blastn reports with ungapped statistics (NCBI practice for
+            # the default large gap penalties).
+            self.stats_params = self.ungapped
+        else:
+            raise ValueError(f"unsupported program {p.program!r}")
+        self.gap_trigger_raw = int(
+            round(
+                (p.gap_trigger_bits * np.log(2.0) + np.log(self.ungapped.K))
+                / self.ungapped.lam
+            )
+        )
+        self._index_cache: dict[int, WordIndex] = {}
+
+    # Process-wide memo of word indexes.  A WordIndex is immutable and a
+    # pure function of (query, scoring config); sharing it across the
+    # simulated ranks only removes redundant *wall-clock* work — virtual
+    # time for index construction is charged by the cost model.
+    _GLOBAL_INDEX_MEMO: dict[tuple, WordIndex] = {}
+
+    # ------------------------------------------------------------------
+    def _index_for(self, query_index: int, qcodes: np.ndarray) -> WordIndex:
+        # Content-keyed (query_index is only a hint and may be reused
+        # for different queries across processing batches).
+        p = self.params
+        key = (
+            qcodes.tobytes(),
+            p.program,
+            p.matrix_name,
+            p.effective_word_size,
+            p.threshold,
+            p.dna_match,
+            p.dna_mismatch,
+        )
+        local = self._index_cache.get(query_index)
+        if local is not None and local[0] == key:
+            return local[1]
+        memo = BlastSearch._GLOBAL_INDEX_MEMO
+        idx = memo.get(key)
+        if idx is None:
+            if len(memo) >= 4096:
+                memo.clear()
+            idx = WordIndex(
+                qcodes,
+                self.matrix,
+                word_size=p.effective_word_size,
+                threshold=p.threshold,
+                nstd=self.nstd,
+                exact_only=(p.program == "blastn"),
+            )
+            memo[key] = idx
+        self._index_cache[query_index] = (key, idx)
+        return idx
+
+    # ------------------------------------------------------------------
+    def search_fragment(
+        self,
+        queries: list[SeqRecord],
+        fragment: SequenceDatabase,
+        *,
+        db_letters: int,
+        db_num_seqs: int,
+        base_oid: int = 0,
+        stats: SearchStats | None = None,
+        filter_db_letters: int | None = None,
+        filter_db_num_seqs: int | None = None,
+    ) -> list[list[Alignment]]:
+        """Search all queries against one database fragment.
+
+        Returns, per query, the alignments passing the expect filter,
+        with **global** subject oids (``base_oid`` + local index) and
+        E-values computed against the global database statistics.
+
+        ``filter_db_letters``/``filter_db_num_seqs`` optionally apply the
+        expect *filter* against a different (e.g. fragment-local) search
+        space.  This mirrors an un-informed per-fragment NCBI BLAST run,
+        which is what mpiBLAST workers execute: a smaller space lowers
+        local E-values, so more marginal candidates flow to the master —
+        the paper's 'total size of result alignments to be screened and
+        merged by the master increases linearly' behaviour.  Reported
+        E-values are always global, so a downstream global filter
+        restores exactly the serial result list.
+        """
+        out: list[list[Alignment]] = []
+        for qi, qrec in enumerate(queries):
+            qcodes = self.alphabet.encode(qrec.sequence)
+            als = self._search_one(
+                qi, qrec, qcodes, fragment, db_letters, db_num_seqs, base_oid,
+                stats, filter_db_letters, filter_db_num_seqs,
+            )
+            out.append(als)
+        if stats is not None:
+            stats.queries += len(queries)
+        return out
+
+    # ------------------------------------------------------------------
+    def _search_one(
+        self,
+        query_index: int,
+        qrec: SeqRecord,
+        qcodes: np.ndarray,
+        fragment: SequenceDatabase,
+        db_letters: int,
+        db_num_seqs: int,
+        base_oid: int,
+        stats: SearchStats | None,
+        filter_db_letters: int | None = None,
+        filter_db_num_seqs: int | None = None,
+    ) -> list[Alignment]:
+        p = self.params
+        index = self._index_for(query_index, qcodes)
+        sstats = SeedStats()
+        space = effective_search_space(
+            self.stats_params, len(qcodes), db_letters, db_num_seqs
+        )
+        if filter_db_letters is not None:
+            filter_space = effective_search_space(
+                self.stats_params,
+                len(qcodes),
+                filter_db_letters,
+                filter_db_num_seqs or 1,
+            )
+        else:
+            filter_space = space
+        # Raw score that meets the expect threshold: cheap pre-filter.
+        min_raw = self.stats_params.raw_score_for_evalue(p.expect, filter_space)
+
+        alignments: list[Alignment] = []
+        nsub = fragment.num_sequences
+        for si in range(nsub):
+            scodes = fragment.get_codes(si)
+            spos, qpos = index.find_hits(scodes, sstats)
+            if len(spos) == 0:
+                continue
+            if p.program == "blastp":
+                triggers = two_hit_triggers(
+                    spos,
+                    qpos,
+                    window=p.two_hit_window,
+                    word_size=p.effective_word_size,
+                )
+            else:
+                triggers = one_hit_triggers(spos, qpos)
+            if not triggers:
+                continue
+            sstats.triggers += len(triggers)
+            hsps = self._extend_subject(
+                qcodes, scodes, triggers, si, stats
+            )
+            if not hsps:
+                continue
+            hsps = cull_contained(hsps)
+            for h in hsps:
+                if h.score < min_raw:
+                    continue
+                al = self._render(
+                    query_index,
+                    qcodes,
+                    scodes,
+                    h,
+                    fragment.get_defline(si),
+                    base_oid + si,
+                    space,
+                )
+                # Filter in the (possibly fragment-local) space; the
+                # reported evalue on the record is always global.
+                if self.stats_params.evalue(h.score, filter_space) <= p.expect:
+                    alignments.append(al)
+        if stats is not None:
+            stats.subjects += nsub
+            stats.letters_scanned += sstats.positions_scanned
+            stats.word_hits += sstats.word_hits
+            stats.triggers += sstats.triggers
+            stats.alignments += len(alignments)
+        alignments.sort(key=Alignment.sort_key)
+        return alignments
+
+    # ------------------------------------------------------------------
+    def _extend_subject(
+        self,
+        q: np.ndarray,
+        s: np.ndarray,
+        triggers: list[tuple[int, int]],
+        subject_local_index: int,
+        stats: SearchStats | None,
+    ) -> list[HSP]:
+        p = self.params
+        w = p.effective_word_size
+        # Ungapped stage, skipping triggers inside already-extended
+        # regions on the same diagonal.
+        covered: dict[int, int] = {}
+        ungapped_hits = []
+        for qp, sp in triggers:
+            dg = qp - sp
+            if covered.get(dg, -1) >= sp:
+                continue
+            hit = ungapped_extend(q, s, qp, sp, w, self.matrix, p.x_drop_ungapped)
+            covered[dg] = hit.send
+            if stats is not None:
+                stats.ungapped_extensions += 1
+            if hit.score > 0:
+                ungapped_hits.append(hit)
+        if not ungapped_hits:
+            return []
+
+        if not p.gapped:
+            return [
+                HSP(
+                    subject_oid=subject_local_index,
+                    qstart=h.qstart,
+                    qend=h.qend,
+                    sstart=h.sstart,
+                    send=h.send,
+                    score=h.score,
+                    ops="M" * (h.qend - h.qstart),
+                )
+                for h in ungapped_hits
+            ]
+
+        # Gapped stage: extend each qualifying ungapped HSP, best first,
+        # skipping seeds already inside a gapped alignment.
+        ungapped_hits.sort(key=lambda h: (-h.score, h.qstart, h.sstart))
+        gapped: list[HSP] = []
+        leftovers = []
+        for h in ungapped_hits:
+            if h.score < self.gap_trigger_raw:
+                leftovers.append(h)
+                continue
+            inside = any(
+                g.qstart <= h.qstart
+                and h.qend <= g.qend
+                and g.sstart <= h.sstart
+                and h.send <= g.send
+                for g in gapped
+            )
+            if inside:
+                continue
+            mid = (h.qstart + h.qend) // 2
+            anchor_q = mid
+            anchor_s = h.sstart + (mid - h.qstart)
+            ext = extend_gapped(
+                q,
+                s,
+                anchor_q,
+                anchor_s,
+                self.matrix,
+                p.gap_open,
+                p.gap_extend,
+                p.x_drop_gapped,
+            )
+            if stats is not None:
+                stats.gapped_extensions += 1
+            gapped.append(
+                HSP(
+                    subject_oid=subject_local_index,
+                    qstart=ext.qstart,
+                    qend=ext.qend,
+                    sstart=ext.sstart,
+                    send=ext.send,
+                    score=ext.score,
+                    ops=ext.ops,
+                )
+            )
+        # HSPs below the gap trigger are still reported (ungapped) if
+        # they survive the E-value cutoff downstream — as NCBI BLAST
+        # does.  Under a *fragment-local* cutoff these marginal HSPs are
+        # what makes candidate volume grow with fragment count (the
+        # mpiBLAST merging-pressure mechanism, paper §5).
+        for h in leftovers:
+            inside = any(
+                g.qstart <= h.qstart
+                and h.qend <= g.qend
+                and g.sstart <= h.sstart
+                and h.send <= g.send
+                for g in gapped
+            )
+            if not inside:
+                gapped.append(
+                    HSP(
+                        subject_oid=subject_local_index,
+                        qstart=h.qstart,
+                        qend=h.qend,
+                        sstart=h.sstart,
+                        send=h.send,
+                        score=h.score,
+                        ops="M" * (h.qend - h.qstart),
+                    )
+                )
+        return gapped
+
+    # ------------------------------------------------------------------
+    def _render(
+        self,
+        query_index: int,
+        q: np.ndarray,
+        s: np.ndarray,
+        h: HSP,
+        subject_defline: str,
+        global_oid: int,
+        search_space: float,
+    ) -> Alignment:
+        letters = self.alphabet.letters
+        aq: list[str] = []
+        mid: list[str] = []
+        asub: list[str] = []
+        identities = positives = gaps = 0
+        i, j = h.qstart, h.sstart
+        for op in h.ops:
+            if op == "M":
+                cq, cs = int(q[i]), int(s[j])
+                lq, ls = letters[cq], letters[cs]
+                aq.append(lq)
+                asub.append(ls)
+                if cq == cs:
+                    mid.append(lq)
+                    identities += 1
+                    positives += 1
+                elif self.matrix[cq, cs] > 0:
+                    mid.append("+")
+                    positives += 1
+                else:
+                    mid.append(" ")
+                i += 1
+                j += 1
+            elif op == "D":  # gap in subject
+                aq.append(letters[int(q[i])])
+                mid.append(" ")
+                asub.append("-")
+                gaps += 1
+                i += 1
+            else:  # 'I': gap in query
+                aq.append("-")
+                mid.append(" ")
+                asub.append(letters[int(s[j])])
+                gaps += 1
+                j += 1
+        sp = self.stats_params
+        return Alignment(
+            query_index=query_index,
+            subject_oid=global_oid,
+            subject_defline=subject_defline,
+            subject_length=len(s),
+            score=h.score,
+            bit_score=sp.bit_score(h.score),
+            evalue=sp.evalue(h.score, search_space),
+            qstart=h.qstart,
+            qend=h.qend,
+            sstart=h.sstart,
+            send=h.send,
+            aligned_query="".join(aq),
+            midline="".join(mid),
+            aligned_subject="".join(asub),
+            identities=identities,
+            positives=positives,
+            gaps=gaps,
+        )
+
+    # ------------------------------------------------------------------
+    def effective_space(self, query_length: int, db_letters: int,
+                        db_num_seqs: int) -> float:
+        return effective_search_space(
+            self.stats_params, query_length, db_letters, db_num_seqs
+        )
+
+
+def finalize_results(
+    queries: list[SeqRecord],
+    per_query_alignments: list[list[Alignment]],
+    max_alignments: int,
+) -> list[QueryResult]:
+    """Rank and cap each query's alignments (shared by all drivers)."""
+    results = []
+    for qi, (qrec, als) in enumerate(zip(queries, per_query_alignments)):
+        ranked = sorted(als, key=Alignment.sort_key)[:max_alignments]
+        results.append(
+            QueryResult(
+                query_index=qi,
+                query_defline=qrec.defline,
+                query_length=len(qrec.sequence),
+                alignments=ranked,
+            )
+        )
+    return results
+
+
+def blastp_search(
+    queries: list[SeqRecord] | str,
+    subjects: list[SeqRecord] | str,
+    params: SearchParams | None = None,
+) -> list[QueryResult]:
+    """Convenience serial blastp: queries vs subjects (records or FASTA)."""
+    return _simple_search(queries, subjects, params or SearchParams())
+
+
+def blastn_search(
+    queries: list[SeqRecord] | str,
+    subjects: list[SeqRecord] | str,
+    params: SearchParams | None = None,
+) -> list[QueryResult]:
+    """Convenience serial blastn."""
+    base = params or SearchParams(program="blastn", gapped=False)
+    if base.program != "blastn":
+        raise ValueError("params.program must be 'blastn'")
+    return _simple_search(queries, subjects, base)
+
+
+def _simple_search(
+    queries: list[SeqRecord] | str,
+    subjects: list[SeqRecord] | str,
+    params: SearchParams,
+) -> list[QueryResult]:
+    from repro.blast.fasta import parse_fasta
+
+    qs = parse_fasta(queries) if isinstance(queries, str) else list(queries)
+    subs = parse_fasta(subjects) if isinstance(subjects, str) else list(subjects)
+    engine = BlastSearch(params)
+    db = ListDatabase(subs, engine.alphabet)
+    per_query = engine.search_fragment(
+        qs, db, db_letters=db.total_letters, db_num_seqs=db.num_sequences
+    )
+    return finalize_results(qs, per_query, params.max_alignments)

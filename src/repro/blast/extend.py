@@ -1,0 +1,291 @@
+"""X-drop ungapped and gapped extensions.
+
+``ungapped_extend`` grows a word hit in both directions, keeping the
+best running score and abandoning a direction once the running score
+falls ``x_drop`` below the best — exactly BLAST's ungapped extension.
+
+``extend_gapped`` is the gapped stage: an *extension alignment* (anchored
+at a seed pair, free end) computed with the Gotoh affine-gap recurrence,
+an X-drop band that grows and shrinks per row, and full traceback.  Rows
+are NumPy-vectorized; the horizontal-gap state is computed exactly with
+a prefix-max trick:
+
+    E[j] = max_{k<j} (H0[k] - open - (j-k)·ext)
+
+is valid because chaining a new gap-open directly onto a gap-ended cell
+is never better than extending the existing gap (gap_open ≥ 0), so only
+non-E-derived cells ``H0 = max(diag, F)`` need to be considered as gap
+origins — and that max is a running ``np.maximum.accumulate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+NEG_INF = np.int64(-(1 << 40))
+
+
+@dataclass
+class UngappedHit:
+    """Result of an ungapped extension (half-open coordinates)."""
+
+    qstart: int
+    qend: int
+    sstart: int
+    send: int
+    score: int
+
+    @property
+    def length(self) -> int:
+        return self.qend - self.qstart
+
+
+def ungapped_extend(
+    q: np.ndarray,
+    s: np.ndarray,
+    qpos: int,
+    spos: int,
+    word_size: int,
+    matrix: np.ndarray,
+    x_drop: int,
+) -> UngappedHit:
+    """Extend the word hit at (qpos, spos) without gaps.
+
+    The seed word ``q[qpos:qpos+word_size]`` / ``s[spos:spos+word_size]``
+    is scored first, then both directions are extended with X-drop
+    termination.  Trimmed to the best-scoring extent.
+    """
+    score = 0
+    for k in range(word_size):
+        score += int(matrix[q[qpos + k], s[spos + k]])
+
+    # Right extension.
+    best = score
+    qe, se = qpos + word_size, spos + word_size
+    cur = score
+    i, j = qe, se
+    best_qe, best_se = qe, se
+    nq, ns = len(q), len(s)
+    while i < nq and j < ns:
+        cur += int(matrix[q[i], s[j]])
+        i += 1
+        j += 1
+        if cur > best:
+            best = cur
+            best_qe, best_se = i, j
+        elif cur <= best - x_drop:
+            break
+
+    # Left extension.
+    cur = best
+    best2 = best
+    i, j = qpos - 1, spos - 1
+    best_qs, best_ss = qpos, spos
+    while i >= 0 and j >= 0:
+        cur += int(matrix[q[i], s[j]])
+        if cur > best2:
+            best2 = cur
+            best_qs, best_ss = i, j
+        elif cur <= best2 - x_drop:
+            break
+        i -= 1
+        j -= 1
+
+    return UngappedHit(best_qs, best_qe, best_ss, best_se, int(best2))
+
+
+@dataclass
+class _HalfExtension:
+    score: int
+    qlen: int  # query residues consumed
+    slen: int  # subject residues consumed
+    ops: str  # 'M' both, 'D' query only (gap in subject), 'I' subject only
+
+
+def _extend_half(
+    q: np.ndarray,
+    s: np.ndarray,
+    matrix: np.ndarray,
+    gap_open: int,
+    gap_extend: int,
+    x_drop: int,
+) -> _HalfExtension:
+    """Extension DP from an implicit anchor before q[0]/s[0].
+
+    Returns the best-scoring extension (possibly empty) and its edit ops.
+    """
+    nq, ns = len(q), len(s)
+    if nq == 0 or ns == 0:
+        return _HalfExtension(0, 0, 0, "")
+    go, ge = int(gap_open), int(gap_extend)
+    open_cost = go + ge  # cost of a gap of length 1
+
+    width = ns + 1
+    # Score matrices for traceback (row 0 .. nq).
+    H = np.full((nq + 1, width), NEG_INF, dtype=np.int64)
+    E = np.full((nq + 1, width), NEG_INF, dtype=np.int64)
+    F = np.full((nq + 1, width), NEG_INF, dtype=np.int64)
+
+    jj = np.arange(width, dtype=np.int64)
+    H[0, 0] = 0
+    # First row: leading gap in the query (consumes subject only).
+    first = -(go + ge * jj[1:])
+    H[0, 1:] = first
+    E[0, 1:] = first
+    best = 0
+    best_ij = (0, 0)
+    H[0, H[0] < best - x_drop] = NEG_INF
+
+    for i in range(1, nq + 1):
+        qrow = matrix[q[i - 1]].astype(np.int64)
+        Hp = H[i - 1]
+        # Vertical gaps (consume query only).
+        Fi = np.maximum(F[i - 1] - ge, Hp - open_cost)
+        # Diagonal.
+        diag = np.full(width, NEG_INF, dtype=np.int64)
+        diag[1:] = Hp[:-1] + qrow[s]
+        H0 = np.maximum(diag, Fi)
+        # Horizontal gaps via exact prefix-max over non-E cells:
+        # E[j] = max_{k<j} (H0[k] - go - ge*(j-k)).
+        run = np.maximum.accumulate(H0 + ge * jj)
+        Ei = np.full(width, NEG_INF, dtype=np.int64)
+        Ei[1:] = run[:-1] - go - ge * jj[1:]
+        Hi = np.maximum(H0, Ei)
+        # X-drop bookkeeping and masking.
+        row_best = int(Hi.max())
+        if row_best > best:
+            best = row_best
+            best_ij = (i, int(Hi.argmax()))
+        Hi[Hi < best - x_drop] = NEG_INF
+        H[i] = Hi
+        E[i] = Ei
+        F[i] = Fi
+        if (Hi == NEG_INF).all():
+            break
+
+    bi, bj = best_ij
+    # Traceback from (bi, bj) to (0, 0).
+    ops_rev: list[str] = []
+    i, j = bi, bj
+    state = "H"
+    while i > 0 or j > 0:
+        if state == "H":
+            h = H[i, j]
+            if (
+                i > 0
+                and j > 0
+                and H[i - 1, j - 1] > NEG_INF
+                and h == H[i - 1, j - 1] + matrix[q[i - 1], s[j - 1]]
+            ):
+                ops_rev.append("M")
+                i -= 1
+                j -= 1
+            elif j > 0 and h == E[i, j]:
+                state = "E"
+            elif i > 0 and h == F[i, j]:
+                state = "F"
+            else:  # pragma: no cover - would indicate a DP bug
+                raise AssertionError(f"traceback stuck at ({i},{j})")
+        elif state == "E":
+            # Horizontal gap: consumes subject residue s[j-1].
+            ops_rev.append("I")
+            extending = j >= 2 and E[i, j] == E[i, j - 1] - ge
+            j -= 1
+            if not extending:
+                state = "H"
+        else:  # state == 'F'
+            # Vertical gap: consumes query residue q[i-1].
+            ops_rev.append("D")
+            extending = i >= 2 and F[i, j] == F[i - 1, j] - ge
+            i -= 1
+            if not extending:
+                state = "H"
+
+    return _HalfExtension(int(best), bi, bj, "".join(reversed(ops_rev)))
+
+
+@dataclass
+class GappedExtension:
+    """A gapped extension around an anchor pair (half-open coordinates)."""
+
+    qstart: int
+    qend: int
+    sstart: int
+    send: int
+    score: int
+    ops: str  # 'M' aligned pair, 'D' gap in subject, 'I' gap in query
+
+
+def extend_gapped(
+    q: np.ndarray,
+    s: np.ndarray,
+    anchor_q: int,
+    anchor_s: int,
+    matrix: np.ndarray,
+    gap_open: int,
+    gap_extend: int,
+    x_drop: int,
+) -> GappedExtension:
+    """Gapped X-drop extension through the anchor pair (anchor_q, anchor_s).
+
+    The anchor residue pair is always part of the alignment (BLAST seeds
+    the gapped stage inside a high-scoring ungapped region, so this is
+    safe); the two half extensions grow outward from it.
+    """
+    if not (0 <= anchor_q < len(q) and 0 <= anchor_s < len(s)):
+        raise ValueError("anchor out of range")
+    anchor_score = int(matrix[q[anchor_q], s[anchor_s]])
+
+    fwd = _extend_half(
+        q[anchor_q + 1 :], s[anchor_s + 1 :], matrix, gap_open, gap_extend, x_drop
+    )
+    bwd = _extend_half(
+        q[:anchor_q][::-1], s[:anchor_s][::-1], matrix, gap_open, gap_extend, x_drop
+    )
+    score = anchor_score + fwd.score + bwd.score
+    ops = bwd.ops[::-1] + "M" + fwd.ops
+    return GappedExtension(
+        qstart=anchor_q - bwd.qlen,
+        qend=anchor_q + 1 + fwd.qlen,
+        sstart=anchor_s - bwd.slen,
+        send=anchor_s + 1 + fwd.slen,
+        score=int(score),
+        ops=ops,
+    )
+
+
+def score_alignment_ops(
+    q: np.ndarray,
+    s: np.ndarray,
+    ext: GappedExtension,
+    matrix: np.ndarray,
+    gap_open: int,
+    gap_extend: int,
+) -> int:
+    """Re-score an extension from its ops (traceback validation oracle)."""
+    score = 0
+    i, j = ext.qstart, ext.sstart
+    k = 0
+    n = len(ext.ops)
+    while k < n:
+        op = ext.ops[k]
+        if op == "M":
+            score += int(matrix[q[i], s[j]])
+            i += 1
+            j += 1
+            k += 1
+        else:
+            run = 0
+            while k < n and ext.ops[k] == op:
+                run += 1
+                k += 1
+            score -= gap_open + gap_extend * run
+            if op == "D":
+                i += run
+            else:
+                j += run
+    if i != ext.qend or j != ext.send:
+        raise ValueError("ops do not span the claimed ranges")
+    return score

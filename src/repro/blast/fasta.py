@@ -1,0 +1,83 @@
+"""FASTA parsing and formatting.
+
+The parser accepts the format as databases in the wild use it: ``>``
+deflines, wrapped or unwrapped sequence lines, blank lines, ``\r\n``
+endings, and ``;`` comment lines (legacy).  The writer is deterministic:
+60-column wrapping, ``\n`` endings — so FASTA round-trips byte-stably,
+which the property tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class SeqRecord:
+    """One FASTA record: defline (without '>') and residue string."""
+
+    defline: str
+    sequence: str
+
+    @property
+    def id(self) -> str:
+        """First whitespace-delimited token of the defline."""
+        return self.defline.split()[0] if self.defline.split() else ""
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+class FastaError(ValueError):
+    """Malformed FASTA input."""
+
+
+def iter_fasta(text: str | bytes) -> Iterator[SeqRecord]:
+    """Stream records from FASTA text."""
+    if isinstance(text, (bytes, bytearray)):
+        text = bytes(text).decode("utf-8", "replace")
+    defline: str | None = None
+    chunks: list[str] = []
+    saw_any = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        if line.startswith(">"):
+            if defline is not None:
+                yield SeqRecord(defline, "".join(chunks))
+            defline = line[1:].strip()
+            chunks = []
+            saw_any = True
+        else:
+            if defline is None:
+                raise FastaError("sequence data before the first '>' defline")
+            chunks.append(line)
+    if defline is not None:
+        yield SeqRecord(defline, "".join(chunks))
+    elif saw_any:
+        raise FastaError("unreachable")  # pragma: no cover
+
+
+def parse_fasta(text: str | bytes) -> list[SeqRecord]:
+    """Parse FASTA text into a list of records."""
+    return list(iter_fasta(text))
+
+
+def format_record(rec: SeqRecord, width: int = 60) -> str:
+    """Format one record with deterministic wrapping."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    seq = rec.sequence
+    lines = [f">{rec.defline}"]
+    for i in range(0, max(len(seq), 1), width):
+        lines.append(seq[i : i + width])
+    if not seq:
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def write_fasta(records: Iterable[SeqRecord], width: int = 60) -> str:
+    """Format records as FASTA text."""
+    return "".join(format_record(r, width) for r in records)

@@ -1,0 +1,128 @@
+"""HSP and alignment records, plus containment culling.
+
+An :class:`HSP` is a scored local similarity between the query and one
+database sequence.  An :class:`Alignment` is a fully rendered HSP —
+aligned strings, identity/positive/gap counts, bit score and E-value —
+i.e. everything the report writer needs, and everything a pioBLAST
+worker caches for the output stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HSP:
+    """A high-scoring segment pair (half-open coordinates)."""
+
+    subject_oid: int  # index of the subject within the searched database
+    qstart: int
+    qend: int
+    sstart: int
+    send: int
+    score: int
+    ops: str = ""  # edit script; empty for ungapped HSPs
+
+    @property
+    def diag(self) -> int:
+        return self.qstart - self.sstart
+
+    def contains(self, other: "HSP") -> bool:
+        """True if ``other``'s query and subject ranges lie inside ours."""
+        return (
+            self.subject_oid == other.subject_oid
+            and self.qstart <= other.qstart
+            and other.qend <= self.qend
+            and self.sstart <= other.sstart
+            and other.send <= self.send
+        )
+
+
+def cull_contained(hsps: list[HSP]) -> list[HSP]:
+    """Drop HSPs contained in a higher-scoring HSP of the same subject.
+
+    Input order is preserved among survivors.  Ties in score keep the
+    earlier HSP (deterministic).
+    """
+    order = sorted(
+        range(len(hsps)), key=lambda i: (-hsps[i].score, hsps[i].qstart, i)
+    )
+    keep = [True] * len(hsps)
+    kept: list[int] = []
+    for i in order:
+        h = hsps[i]
+        dead = False
+        for j in kept:
+            if hsps[j].contains(h):
+                dead = True
+                break
+        if dead:
+            keep[i] = False
+        else:
+            kept.append(i)
+    return [h for i, h in enumerate(hsps) if keep[i]]
+
+
+@dataclass
+class Alignment:
+    """A rendered alignment ready for reporting.
+
+    ``subject_oid`` is the subject's index in the *searched* database;
+    parallel drivers that search a fragment add the fragment's base
+    offset so oids are global — the (bit_score, global oid) pair is the
+    deterministic global sort key shared by every driver.
+    """
+
+    query_index: int
+    subject_oid: int
+    subject_defline: str
+    subject_length: int
+    score: int
+    bit_score: float
+    evalue: float
+    qstart: int  # half-open, 0-based
+    qend: int
+    sstart: int
+    send: int
+    aligned_query: str
+    midline: str
+    aligned_subject: str
+    identities: int
+    positives: int
+    gaps: int
+
+    @property
+    def align_length(self) -> int:
+        return len(self.aligned_query)
+
+    def sort_key(self) -> tuple:
+        """Global deterministic ranking: best first.
+
+        Every field is available in the metadata workers ship to the
+        master, so serial, mpiBLAST, and pioBLAST runs rank identically.
+        """
+        return (
+            -self.score,
+            self.evalue,
+            self.subject_oid,
+            self.qstart,
+            self.send,
+        )
+
+    def payload_nbytes(self) -> int:
+        """Wire size when shipped whole (mpiBLAST result fetching)."""
+        return 64 + len(self.subject_defline) + 3 * len(self.aligned_query)
+
+
+@dataclass
+class QueryResult:
+    """All reported alignments for one query, ranked."""
+
+    query_index: int
+    query_defline: str
+    query_length: int
+    alignments: list[Alignment] = field(default_factory=list)
+
+    def ranked(self) -> list[Alignment]:
+        return sorted(self.alignments, key=Alignment.sort_key)

@@ -1,0 +1,86 @@
+"""Scoring matrices.
+
+BLOSUM62 is transcribed from the canonical NCBI table (24x24, row order
+``A R N D C Q E G H I L K M F P S T W Y V B Z X *`` — the same order as
+:data:`repro.blast.alphabet.PROTEIN`).  DNA scoring is the parametric
+match/mismatch matrix blastn uses (+1/-3 by default in modern blastn;
+the classic megablast +1/-2 is available by argument).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blast.alphabet import DNA, PROTEIN
+
+_BLOSUM62_ROWS = """
+ 4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0 -2 -1  0 -4
+-1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3 -1  0 -1 -4
+-2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3  3  0 -1 -4
+-2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3  4  1 -1 -4
+ 0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1 -3 -3 -2 -4
+-1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2  0  3 -1 -4
+-1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+ 0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3 -1 -2 -1 -4
+-2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3  0  0 -1 -4
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3 -3 -3 -1 -4
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1 -4 -3 -1 -4
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2  0  1 -1 -4
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1 -3 -1 -1 -4
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1 -3 -3 -1 -4
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2 -2 -1 -2 -4
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2  0  0  0 -4
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0 -1 -1  0 -4
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3 -4 -3 -2 -4
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1 -3 -2 -1 -4
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4 -3 -2 -1 -4
+-2 -1  3  4 -3  0  1 -1  0 -3 -4  0 -3 -3 -2  0 -1 -4 -3 -3  4  1 -1 -4
+-1  0  0  1 -3  3  4 -2  0 -3 -3  1 -1 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+ 0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -2  0  0 -2 -1 -1 -1 -1 -1 -4
+-4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4  1
+"""
+
+
+def _parse_matrix(text: str, n: int) -> np.ndarray:
+    rows = [r.split() for r in text.strip().splitlines()]
+    if len(rows) != n or any(len(r) != n for r in rows):
+        raise ValueError("malformed matrix literal")
+    return np.array([[int(v) for v in r] for r in rows], dtype=np.int32)
+
+
+_BLOSUM62: np.ndarray | None = None
+
+
+def blosum62() -> np.ndarray:
+    """The 24x24 BLOSUM62 matrix in PROTEIN alphabet order (int32)."""
+    global _BLOSUM62
+    if _BLOSUM62 is None:
+        m = _parse_matrix(_BLOSUM62_ROWS, len(PROTEIN))
+        if not np.array_equal(m, m.T):
+            raise AssertionError("BLOSUM62 transcription is not symmetric")
+        m.setflags(write=False)
+        _BLOSUM62 = m
+    return _BLOSUM62
+
+
+def dna_matrix(match: int = 1, mismatch: int = -3) -> np.ndarray:
+    """Parametric blastn matrix over ACGTN (N scores mismatch vs all)."""
+    if match <= 0 or mismatch >= 0:
+        raise ValueError("need match > 0 and mismatch < 0")
+    n = len(DNA)
+    m = np.full((n, n), mismatch, dtype=np.int32)
+    for i in range(4):  # only unambiguous bases can match
+        m[i, i] = match
+    # N never matches anything, including itself.
+    m.setflags(write=False)
+    return m
+
+
+def get_matrix(name: str) -> np.ndarray:
+    """Look up a protein matrix by name ('BLOSUM62')."""
+    key = name.upper()
+    if key == "BLOSUM62":
+        return blosum62()
+    raise KeyError(
+        f"unknown matrix {name!r}; BLOSUM62 is the supported protein matrix"
+    )

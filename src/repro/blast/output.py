@@ -1,0 +1,202 @@
+"""NCBI-flavoured text report writer.
+
+The report for a run is, byte for byte::
+
+    preamble
+    for each query:
+        query_header     (defline, one-line descriptions ranked by score)
+        alignment_block  (one per reported alignment, in ranked order)
+        query_footer     (Karlin–Altschul statistics, search space)
+
+Each piece is generated independently and deterministically.  This
+factoring is load-bearing for the reproduction: pioBLAST workers render
+``alignment_block`` bytes for their own hits and report only the block
+*sizes*; the master renders headers/footers locally, lays out the file
+by offset arithmetic, and the workers then write their blocks with one
+collective MPI-IO call.  A serial run concatenating the same pieces
+produces the identical file — the equality oracle used by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blast.hsp import Alignment
+
+VERSION_BANNER = "BLASTP 1.0.0-repro [IPDPS05 reproduction]"
+
+
+def format_evalue(e: float) -> str:
+    """Deterministic NCBI-style E-value rendering."""
+    if e != e or e < 0:  # NaN guard
+        raise ValueError(f"bad evalue {e}")
+    if e <= 1e-180:
+        return "0.0"
+    if e < 1e-4:
+        return f"{e:.0e}"
+    if e < 0.1:
+        return f"{e:.3f}"
+    if e < 10.0:
+        return f"{e:.1f}"
+    return f"{e:.0f}"
+
+
+def format_bits(b: float) -> str:
+    return f"{b:.1f}"
+
+
+@dataclass(frozen=True)
+class HitSummary:
+    """Metadata for one one-line description (what workers ship)."""
+
+    defline: str
+    bit_score: float
+    evalue: float
+
+
+@dataclass(frozen=True)
+class DbStats:
+    title: str
+    num_sequences: int
+    total_letters: int
+
+
+class ReportWriter:
+    """Renders report pieces with stable byte layout."""
+
+    def __init__(
+        self,
+        program: str,
+        db: DbStats,
+        *,
+        lam: float,
+        k: float,
+        h: float,
+        banner: str = VERSION_BANNER,
+    ) -> None:
+        self.program = program
+        self.db = db
+        self.lam = lam
+        self.k = k
+        self.h = h
+        self.banner = banner.replace("BLASTP", program.upper(), 1)
+
+    # ------------------------------------------------------------------
+    def preamble(self) -> bytes:
+        lines = [
+            self.banner,
+            "",
+            "Reference: reproduction of Altschul et al. (1990), built for",
+            '"Efficient Data Access for Parallel BLAST" (IPDPS 2005).',
+            "",
+            f"Database: {self.db.title}",
+            f"           {self.db.num_sequences:,} sequences; "
+            f"{self.db.total_letters:,} total letters",
+            "",
+            "",
+        ]
+        return "\n".join(lines).encode("utf-8")
+
+    # ------------------------------------------------------------------
+    def query_header(
+        self,
+        query_defline: str,
+        query_length: int,
+        summaries: list[HitSummary],
+    ) -> bytes:
+        lines = [
+            f"Query= {query_defline}",
+            f"         ({query_length:,} letters)",
+            "",
+        ]
+        if summaries:
+            lines += [
+                "                                                      "
+                "           Score    E",
+                "Sequences producing significant alignments:           "
+                "           (bits)  Value",
+                "",
+            ]
+            for s in summaries:
+                d = s.defline
+                if len(d) > 62:
+                    d = d[:59] + "..."
+                lines.append(
+                    f"{d:<62} {s.bit_score:>7.1f}  {format_evalue(s.evalue)}"
+                )
+        else:
+            lines.append(" ***** No hits found ******")
+        lines += ["", ""]
+        return "\n".join(lines).encode("utf-8")
+
+    # ------------------------------------------------------------------
+    def alignment_block(self, al: Alignment, width: int = 60) -> bytes:
+        n = al.align_length
+        pid = round(100.0 * al.identities / n) if n else 0
+        ppos = round(100.0 * al.positives / n) if n else 0
+        pgap = round(100.0 * al.gaps / n) if n else 0
+        lines = [
+            f">{al.subject_defline}",
+            f"          Length = {al.subject_length:,}",
+            "",
+            f" Score = {format_bits(al.bit_score)} bits ({al.score}), "
+            f"Expect = {format_evalue(al.evalue)}",
+        ]
+        stats = (
+            f" Identities = {al.identities}/{n} ({pid}%), "
+            f"Positives = {al.positives}/{n} ({ppos}%)"
+        )
+        if al.gaps:
+            stats += f", Gaps = {al.gaps}/{n} ({pgap}%)"
+        lines += [stats, ""]
+
+        qpos = al.qstart + 1  # 1-based display coordinates
+        spos = al.sstart + 1
+        for i in range(0, n, width):
+            qchunk = al.aligned_query[i : i + width]
+            mchunk = al.midline[i : i + width]
+            schunk = al.aligned_subject[i : i + width]
+            q_res = sum(1 for c in qchunk if c != "-")
+            s_res = sum(1 for c in schunk if c != "-")
+            qend = qpos + q_res - 1 if q_res else qpos
+            send = spos + s_res - 1 if s_res else spos
+            lines.append(f"Query  {qpos:<6d} {qchunk}  {qend}")
+            lines.append(f"       {'':<6} {mchunk}")
+            lines.append(f"Sbjct  {spos:<6d} {schunk}  {send}")
+            lines.append("")
+            qpos = qend + 1 if q_res else qpos
+            spos = send + 1 if s_res else spos
+        lines.append("")
+        return "\n".join(lines).encode("utf-8")
+
+    # ------------------------------------------------------------------
+    def query_footer(self, effective_space: float) -> bytes:
+        lines = [
+            "Lambda     K      H",
+            f"   {self.lam:.3f}   {self.k:.4f}   {self.h:.3f}",
+            "",
+            f"Effective search space used: {int(effective_space)}",
+            "",
+            "",
+        ]
+        return "\n".join(lines).encode("utf-8")
+
+    # ------------------------------------------------------------------
+    def full_report(self, results: list) -> bytes:
+        """Serial rendering (QueryResult list) — the reference output."""
+        from repro.blast.karlin import KarlinParams  # noqa: F401 (doc only)
+
+        parts = [self.preamble()]
+        for qr, space in results:
+            ranked = qr.alignments
+            summaries = [
+                HitSummary(a.subject_defline, a.bit_score, a.evalue)
+                for a in ranked
+            ]
+            parts.append(
+                self.query_header(qr.query_defline, qr.query_length, summaries)
+            )
+            for a in ranked:
+                parts.append(self.alignment_block(a))
+            parts.append(self.query_footer(space))
+        return b"".join(parts)

@@ -1,0 +1,236 @@
+"""Word seeding: neighbourhood word indexes, scanning, two-hit logic.
+
+blastp builds an index of all length-``w`` words whose substitution
+score against some query word reaches the neighbourhood threshold ``T``
+(Altschul et al. 1990 §3; BLAST 2.0 defaults w=3, T=11).  Database
+sequences are scanned against the index, and the *two-hit* heuristic
+(Altschul et al. 1997) only triggers an ungapped extension when two
+non-overlapping hits land on the same diagonal within a window ``A``.
+
+blastn uses exact word matches (default w=11) and one-hit triggering.
+
+Everything on the scanning path is NumPy-vectorized: rolling word codes,
+CSR index lookup, and the same-diagonal pairing test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SeedStats:
+    """Work counters from scanning one subject (feeds the cost model)."""
+
+    positions_scanned: int = 0
+    word_hits: int = 0
+    triggers: int = 0
+
+
+class WordIndex:
+    """Query word index with neighbourhood expansion (CSR layout)."""
+
+    def __init__(
+        self,
+        query: np.ndarray,
+        matrix: np.ndarray,
+        *,
+        word_size: int,
+        threshold: int,
+        nstd: int,
+        exact_only: bool = False,
+    ) -> None:
+        if word_size < 1:
+            raise ValueError("word_size must be >= 1")
+        self.word_size = int(word_size)
+        self.threshold = int(threshold)
+        self.nstd = int(nstd)
+        self.query_length = len(query)
+        self._build(np.asarray(query), np.asarray(matrix), exact_only)
+
+    def _build(self, q: np.ndarray, m: np.ndarray, exact_only: bool) -> None:
+        w, nstd = self.word_size, self.nstd
+        nwords = nstd**w
+        npos = len(q) - w + 1
+        hits_by_code: dict[int, list[int]] = {}
+        if npos > 0 and not exact_only and w == 3:
+            # Fully vectorized neighbourhood for the blastp case: the
+            # score of candidate word (a,b,c) against the query word at
+            # position p is std[q[p],a] + std[q[p+1],b] + std[q[p+2],c] —
+            # a broadcasted 3-way outer sum over all positions at once.
+            std = m[:nstd, :nstd].astype(np.int32)
+            q64 = q.astype(np.int64)
+            w0, w1, w2 = q64[:npos], q64[1 : npos + 1], q64[2 : npos + 2]
+            ok = (w0 < nstd) & (w1 < nstd) & (w2 < nstd)
+            pos_ok = np.nonzero(ok)[0]
+            if pos_ok.size:
+                # Rows are safe to index even for wildcards (clipped),
+                # masked positions are excluded afterwards.
+                a = std[np.minimum(w0[pos_ok], nstd - 1)]
+                b = std[np.minimum(w1[pos_ok], nstd - 1)]
+                c = std[np.minimum(w2[pos_ok], nstd - 1)]
+                scores = (
+                    a[:, :, None, None]
+                    + b[:, None, :, None]
+                    + c[:, None, None, :]
+                )
+                hit_pos, ha, hb, hc = np.nonzero(scores >= self.threshold)
+                codes_arr = ha * (nstd * nstd) + hb * nstd + hc
+                positions_arr = pos_ok[hit_pos]
+                # CSR directly from the flat (code, position) pairs.
+                order = np.argsort(codes_arr, kind="stable")
+                codes_sorted = codes_arr[order]
+                self._positions_sorted = positions_arr[order].astype(np.int64)
+                counts = np.bincount(codes_sorted, minlength=nwords)
+                self.indptr = np.concatenate(
+                    ([0], np.cumsum(counts))
+                ).astype(np.int64)
+                self.data = self._positions_sorted
+                self.num_words = nwords
+                self._dense = True
+                return
+        if npos > 0 and (exact_only or w != 3):
+            # Exact words (blastn, or exact_only protein mode).
+            base = nstd
+            for pos in range(npos):
+                word = q[pos : pos + w]
+                if (word >= nstd).any():
+                    continue
+                code = 0
+                for r in word:
+                    code = code * base + int(r)
+                hits_by_code.setdefault(code, []).append(pos)
+
+        self.num_words = nwords
+        self._dense = nwords <= 1 << 22
+        if self._dense:
+            counts = np.zeros(nwords + 1, dtype=np.int64)
+            for code, positions in hits_by_code.items():
+                counts[code + 1] = len(positions)
+            self.indptr = np.cumsum(counts)
+            data = np.empty(int(self.indptr[-1]), dtype=np.int64)
+            for code, positions in hits_by_code.items():
+                start = self.indptr[code]
+                data[start : start + len(positions)] = positions
+            self.data = data
+        else:
+            self._table = {
+                code: np.asarray(pos, dtype=np.int64)
+                for code, pos in hits_by_code.items()
+            }
+
+    @property
+    def total_entries(self) -> int:
+        if self._dense:
+            return int(self.indptr[-1])
+        return sum(len(v) for v in self._table.values())
+
+    # ------------------------------------------------------------------
+    def subject_codes(self, s: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Rolling word codes of ``s``; returns (positions, codes).
+
+        Positions whose word contains a wildcard are excluded.
+        """
+        w, nstd = self.word_size, self.nstd
+        n = len(s) - w + 1
+        if n <= 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        s64 = s.astype(np.int64)
+        codes = np.zeros(n, dtype=np.int64)
+        valid = np.ones(n, dtype=bool)
+        for k in range(w):
+            part = s64[k : k + n]
+            codes = codes * nstd + part
+            valid &= part < nstd
+        pos = np.nonzero(valid)[0]
+        return pos, codes[pos]
+
+    def find_hits(self, s: np.ndarray, stats: SeedStats | None = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+        """All word hits against subject ``s``: arrays (spos, qpos).
+
+        Hits are ordered by subject position (then query position).
+        """
+        pos, codes = self.subject_codes(s)
+        if stats is not None:
+            stats.positions_scanned += len(s)
+        if len(pos) == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        if self._dense:
+            starts = self.indptr[codes]
+            ends = self.indptr[codes + 1]
+            counts = ends - starts
+            total = int(counts.sum())
+            if total == 0:
+                return (
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                )
+            spos = np.repeat(pos, counts)
+            cum = np.cumsum(counts) - counts
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(cum, counts)
+            qpos = self.data[np.repeat(starts, counts) + offsets]
+        else:
+            sp_list: list[np.ndarray] = []
+            qp_list: list[np.ndarray] = []
+            table = self._table
+            for p, c in zip(pos, codes):
+                entry = table.get(int(c))
+                if entry is not None:
+                    sp_list.append(np.full(len(entry), p, dtype=np.int64))
+                    qp_list.append(entry)
+            if not sp_list:
+                return (
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                )
+            spos = np.concatenate(sp_list)
+            qpos = np.concatenate(qp_list)
+        if stats is not None:
+            stats.word_hits += len(spos)
+        return spos, qpos
+
+
+def two_hit_triggers(
+    spos: np.ndarray,
+    qpos: np.ndarray,
+    *,
+    window: int,
+    word_size: int,
+) -> list[tuple[int, int]]:
+    """Two-hit trigger points from word hits.
+
+    A hit triggers when an *earlier* hit exists on the same diagonal at
+    subject distance in ``[word_size, window]`` — non-overlapping, and
+    within the two-hit window A (Altschul et al. 1997).  Returns
+    [(qpos, spos), ...] of the triggering (second) hits, ordered by
+    (diagonal, subject position).
+    """
+    if len(spos) == 0:
+        return []
+    diag = qpos - spos
+    # Combined sort key (diagonal, subject position) so a same-diagonal
+    # window is one contiguous slice searchable with searchsorted.
+    big = int(spos.max()) + int(window) + 2
+    key = diag * big + spos
+    key.sort()
+    lo = np.searchsorted(key, key - window, side="left")
+    hi = np.searchsorted(key, key - word_size, side="right")
+    mask = lo < hi
+    trig = key[mask]
+    d = trig // big
+    s = trig - d * big
+    q = d + s
+    return [(int(qq), int(ss)) for qq, ss in zip(q, s)]
+
+
+def one_hit_triggers(spos: np.ndarray, qpos: np.ndarray) -> list[tuple[int, int]]:
+    """Every word hit triggers (blastn / one-hit blastp mode)."""
+    diag = qpos - spos
+    order = np.lexsort((spos, diag))
+    return [(int(qpos[i]), int(spos[i])) for i in order]

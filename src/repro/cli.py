@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the tools the paper's users touch:
+
+- ``formatdb``    — format a FASTA file into the binary database format
+  (optionally multi-volume), on the real filesystem;
+- ``search``      — serial blastp/blastn of a query FASTA against a
+  formatted database, writing the NCBI-style report;
+- ``simulate``    — run mpiBLAST / pioBLAST / queryseg on a simulated
+  cluster over a synthetic workload and print the phase breakdown;
+- ``experiment``  — run one of the paper's table/figure harnesses and
+  print the paper-vs-measured table;
+- ``report``      — assemble the archived benchmark tables
+  (``benchmarks/results/``) into one reproduction report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def _cmd_formatdb(args: argparse.Namespace) -> int:
+    from repro.blast.alphabet import DNA, PROTEIN
+    from repro.blast.formatdb import formatdb
+
+    fasta = pathlib.Path(args.fasta).read_text()
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    def put(path: str, data: bytes) -> None:
+        (outdir / path).write_bytes(data)
+
+    names = formatdb(
+        fasta,
+        args.name,
+        put,
+        alphabet=DNA if args.dbtype == "nucl" else PROTEIN,
+        title=args.title or args.name,
+        max_letters_per_volume=args.volume_letters,
+    )
+    print(f"formatted {args.fasta} -> {outdir}/{args.name} "
+          f"({len(names)} volume(s))")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.blast.engine import (
+        BlastSearch,
+        SearchParams,
+        finalize_results,
+    )
+    from repro.blast.fasta import parse_fasta
+    from repro.blast.formatdb import FormattedDatabase
+    from repro.blast.output import DbStats, HitSummary, ReportWriter
+    from repro.parallel.common import GlobalDbInfo, writer_for
+
+    dbdir = pathlib.Path(args.dbdir)
+
+    def get(path: str) -> bytes:
+        return (dbdir / path).read_bytes()
+
+    db = FormattedDatabase.open(args.db, get)
+    queries = parse_fasta(pathlib.Path(args.queries).read_text())
+    params = SearchParams(
+        program=args.program,
+        expect=args.evalue,
+        max_alignments=args.max_alignments,
+    )
+    engine = BlastSearch(params)
+    per_query = engine.search_fragment(
+        queries, db, db_letters=db.total_letters,
+        db_num_seqs=db.num_sequences,
+    )
+    results = finalize_results(queries, per_query, params.max_alignments)
+    info = GlobalDbInfo(db.title, db.num_sequences, db.total_letters)
+    writer = writer_for(engine, info)
+    parts = [writer.preamble()]
+    for qrec, qr in zip(queries, results):
+        summaries = [
+            HitSummary(a.subject_defline, a.bit_score, a.evalue)
+            for a in qr.alignments
+        ]
+        parts.append(
+            writer.query_header(qr.query_defline, qr.query_length, summaries)
+        )
+        for a in qr.alignments:
+            parts.append(writer.alignment_block(a))
+        space = engine.effective_space(
+            qr.query_length, db.total_letters, db.num_sequences
+        )
+        parts.append(writer.query_footer(space))
+    report = b"".join(parts)
+    if args.out == "-":
+        sys.stdout.write(report.decode())
+    else:
+        pathlib.Path(args.out).write_bytes(report)
+        nhits = sum(len(r.alignments) for r in results)
+        print(f"{len(queries)} queries, {nhits} alignments -> {args.out}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.common import (
+        ExperimentWorkload,
+        run_program,
+    )
+    from repro.platforms import PLATFORMS
+    from repro.workloads import SynthSpec
+
+    wl = ExperimentWorkload(
+        db_spec=SynthSpec(
+            num_sequences=args.db_sequences, mean_length=args.mean_length,
+        ),
+        query_bytes=args.query_bytes,
+    )
+    platform = PLATFORMS[args.platform]
+    b, store, cfg = run_program(args.program, args.nprocs, wl, platform)
+    print(
+        f"{args.program} on {platform.name}, {args.nprocs} processes "
+        f"({args.db_sequences} db seqs, {args.query_bytes} B queries)"
+    )
+    print(
+        f"  copy/input {b.copy_input:10.2f} s\n"
+        f"  search     {b.search:10.2f} s\n"
+        f"  output     {b.output:10.2f} s\n"
+        f"  other      {b.other:10.2f} s\n"
+        f"  total      {b.total:10.2f} s   "
+        f"(search share {100 * b.search_share:.1f}%)"
+    )
+    print(f"  report: {store.size(cfg.output_path):,} bytes at "
+          f"'{cfg.output_path}' (virtual filesystem)")
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": ("repro.experiments.table1", "run_table1", "render_table1"),
+    "table2": ("repro.experiments.table2", "run_table2", None),
+    "fig1a": ("repro.experiments.fig1a", "run_fig1a", "render_fig1a"),
+    "fig1b": ("repro.experiments.fig1b", "run_fig1b", "render_fig1b"),
+    "fig3a": ("repro.experiments.fig3a", "run_fig3a", "render_fig3a"),
+    "fig3b": ("repro.experiments.fig3b", "run_fig3b", "render_fig3b"),
+    "fig4": ("repro.experiments.fig4", "run_fig4", "render_fig4"),
+    "formatdb": (
+        "repro.experiments.formatdb_cost",
+        "run_formatdb_cost",
+        "render_formatdb",
+    ),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    modname, runner_name, renderer_name = _EXPERIMENTS[args.which]
+    mod = importlib.import_module(modname)
+    res = getattr(mod, runner_name)()
+    if args.which == "table2":
+        from repro.experiments.common import PAPER_COSTS
+        from repro.experiments.table2 import render_table2
+
+        print(render_table2(res, PAPER_COSTS.data_scale))
+    else:
+        print(getattr(mod, renderer_name)(res))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import assemble_report, missing_experiments
+
+    print(assemble_report(args.results))
+    missing = missing_experiments(args.results)
+    if missing:
+        print(f"missing experiments (not yet benchmarked): "
+              f"{', '.join(missing)}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Efficient Data Access for Parallel "
+        "BLAST' (IPDPS 2005)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    f = sub.add_parser("formatdb", help="format a FASTA database")
+    f.add_argument("fasta")
+    f.add_argument("--name", default="db")
+    f.add_argument("--outdir", default=".")
+    f.add_argument("--title", default=None)
+    f.add_argument("--dbtype", choices=["prot", "nucl"], default="prot")
+    f.add_argument("--volume-letters", type=int, default=None,
+                   help="split into volumes of at most this many residues")
+    f.set_defaults(func=_cmd_formatdb)
+
+    s = sub.add_parser("search", help="serial BLAST search")
+    s.add_argument("queries", help="query FASTA file")
+    s.add_argument("--db", default="db", help="database name")
+    s.add_argument("--dbdir", default=".", help="database directory")
+    s.add_argument("--program", choices=["blastp", "blastn"],
+                   default="blastp")
+    s.add_argument("--evalue", type=float, default=10.0)
+    s.add_argument("--max-alignments", type=int, default=100)
+    s.add_argument("--out", default="-", help="report path or - for stdout")
+    s.set_defaults(func=_cmd_search)
+
+    m = sub.add_parser("simulate", help="parallel run on a simulated cluster")
+    m.add_argument("program", choices=["mpiblast", "pioblast", "queryseg"])
+    m.add_argument("--nprocs", type=int, default=16)
+    m.add_argument("--platform", choices=["altix", "blade"], default="altix")
+    m.add_argument("--db-sequences", type=int, default=300)
+    m.add_argument("--mean-length", type=int, default=200)
+    m.add_argument("--query-bytes", type=int, default=6000)
+    m.set_defaults(func=_cmd_simulate)
+
+    e = sub.add_parser("experiment", help="run a paper table/figure harness")
+    e.add_argument("which", choices=sorted(_EXPERIMENTS))
+    e.set_defaults(func=_cmd_experiment)
+
+    r = sub.add_parser("report", help="assemble archived benchmark results")
+    r.add_argument("--results", default="benchmarks/results",
+                   help="directory of archived tables")
+    r.set_defaults(func=_cmd_report)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,146 @@
+"""Cost model: measured kernel work → virtual seconds.
+
+The simulated cluster executes the *real* BLAST kernel on real (scaled
+down) data, so correctness is end-to-end; virtual time, however, is
+charged from work counters through this model rather than from Python
+wall time, keeping runs deterministic and letting one knob
+(``compute_scale`` / ``data_scale``) place the synthetic workload in
+the paper's absolute regime (a ~1 GB nr search) without a 1 GB database.
+
+- ``compute_scale`` multiplies kernel compute charges (search, result
+  rendering, merging);
+- ``data_scale`` multiplies byte counts when charging network and
+  filesystem transfers for database/result payloads (the content moved
+  is still the real bytes — only the clock charge is scaled).
+
+Coefficients are per-operation costs of the classic BLAST pipeline;
+defaults were calibrated so the Table-1 phase breakdown of the paper's
+32-process run lands in the right regime (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.blast.engine import SearchStats
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation virtual costs (seconds) and scale factors."""
+
+    compute_scale: float = 1.0
+    data_scale: float = 1.0  # result/output data volumes
+    db_scale: float = 1.0  # database file volumes (copies, parallel input)
+
+    # Search kernel.
+    per_query_fragment_setup: float = 2e-3  # index build + kernel init
+    per_letter_scanned: float = 1.5e-7
+    per_word_hit: float = 1.2e-7
+    per_trigger: float = 8e-7
+    per_ungapped_extension: float = 3e-6
+    per_gapped_extension: float = 2.5e-4
+
+    # Result processing.
+    per_output_byte_rendered: float = 1.2e-8  # formatting alignments
+    per_alignment_merged: float = 6e-6  # master-side sort/screen cost
+    per_fetch_request: float = 3e-5  # master bookkeeping per serial fetch
+    # mpiBLAST's master receives *result alignment structures* for every
+    # candidate and sorts/screens them centrally (paper 3.2); pioBLAST
+    # masters only handle compact metadata (per_alignment_merged).
+    per_result_alignment_processed: float = 1e-5
+
+    # Fixed per-process startup (NCBI toolkit init, query parsing, ...).
+    per_process_init: float = 0.0
+
+    # Effective-bandwidth penalty of cp-style buffered copies relative
+    # to large streaming I/O (the paper's fragment copies achieved
+    # ~120 MB/s aggregate on an XFS capable of GB/s).
+    copy_inefficiency: float = 1.0
+    # Page-fault amplification of mmap'd database access during the
+    # search stage (mpiBLAST's implicit I/O) vs pioBLAST's explicit
+    # buffered input.
+    mmap_inefficiency: float = 1.0
+
+    # ------------------------------------------------------------------
+    def scaled(self, *, compute: float | None = None,
+               data: float | None = None,
+               db: float | None = None) -> "CostModel":
+        """A copy with different scale factors."""
+        return replace(
+            self,
+            compute_scale=self.compute_scale if compute is None else compute,
+            data_scale=self.data_scale if data is None else data,
+            db_scale=self.db_scale if db is None else db,
+        )
+
+    # ------------------------------------------------------------------
+    def search_seconds(self, stats: SearchStats, *, nqueries: int,
+                       nfragments: int = 1) -> float:
+        """Kernel time for one fragment search over ``nqueries`` queries."""
+        t = (
+            nqueries * nfragments * self.per_query_fragment_setup
+            + stats.letters_scanned * self.per_letter_scanned
+            + stats.word_hits * self.per_word_hit
+            + stats.triggers * self.per_trigger
+            + stats.ungapped_extensions * self.per_ungapped_extension
+            + stats.gapped_extensions * self.per_gapped_extension
+        )
+        return t * self.compute_scale
+
+    # Result-processing charges scale with *data* volume: the paper's
+    # candidate counts and output bytes grow with database/query size,
+    # which data_scale stands in for.
+    def render_seconds(self, nbytes: int) -> float:
+        """Formatting ``nbytes`` of report output."""
+        return nbytes * self.per_output_byte_rendered * self.data_scale
+
+    def merge_seconds(self, nalignments: int) -> float:
+        """Master-side screening/sorting of ``nalignments`` metadata."""
+        return nalignments * self.per_alignment_merged * self.data_scale
+
+    def candidate_processing_seconds(self, nalignments: int) -> float:
+        """Master-side handling of full candidate alignment structures
+        (the mpiBLAST centralized-merge path)."""
+        return (
+            nalignments * self.per_result_alignment_processed * self.data_scale
+        )
+
+    def fetch_overhead_seconds(self) -> float:
+        """Master-side bookkeeping for one serial result fetch."""
+        return self.per_fetch_request * self.data_scale
+
+    def copy_chunk_overhead_seconds(self, nbytes_wire: int,
+                                    op_overhead: float,
+                                    chunk: int = 256 * 1024) -> float:
+        """Extra per-chunk syscall/metadata time of a buffered file copy.
+
+        mpiBLAST's fragment copies move data with cp-style chunked reads
+        and writes; unlike pioBLAST's single large MPI-IO read per range,
+        every chunk pays the filesystem's operation overhead.  This is
+        the mechanism behind Table 1's copy (17.1 s) vs input (0.4 s)
+        asymmetry.
+        """
+        nchunks = max(int(nbytes_wire // chunk), 1)
+        return nchunks * op_overhead
+
+    def init_seconds(self) -> float:
+        """Per-process kernel/toolkit initialisation (NCBI setup etc.)."""
+        return self.per_process_init * self.compute_scale
+
+    # ------------------------------------------------------------------
+    def wire_bytes(self, nbytes: int) -> int:
+        """Scaled byte count for result/query traffic charging."""
+        return int(nbytes * self.data_scale)
+
+    def db_wire_bytes(self, nbytes: int) -> int:
+        """Scaled byte count for database file traffic charging."""
+        return int(nbytes * self.db_scale)
+
+
+#: Neutral model: virtual time == modelled time at workload scale 1.
+UNIT_COSTS = CostModel()
+
+#: Calibrated for the paper-scale experiments (see
+#: repro.experiments.common.PAPER_COSTS, which is the tuned instance).
+PAPER_SCALE = CostModel(compute_scale=1100.0, data_scale=250.0, db_scale=6000.0)

@@ -1,0 +1,59 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+Each module exposes a ``run_*`` function returning structured rows and a
+``paper_reference()`` with the numbers the paper reports, so the
+benchmark scripts can print paper-vs-measured tables.  See DESIGN.md §4
+for the experiment index and EXPERIMENTS.md for recorded outcomes.
+"""
+
+from repro.experiments.common import (
+    ExperimentWorkload,
+    build_workload,
+    make_store,
+    run_program,
+    format_table,
+)
+from repro.experiments.table1 import run_table1, paper_table1
+from repro.experiments.table2 import run_table2, paper_table2
+from repro.experiments.fig1a import run_fig1a, paper_fig1a
+from repro.experiments.fig1b import run_fig1b, paper_fig1b
+from repro.experiments.fig3a import run_fig3a, paper_fig3a
+from repro.experiments.fig3b import run_fig3b, paper_fig3b
+from repro.experiments.fig4 import run_fig4, paper_fig4
+from repro.experiments.formatdb_cost import run_formatdb_cost, paper_formatdb
+from repro.experiments.ablations import (
+    run_output_ablation,
+    run_input_ablation,
+    run_pruning_ablation,
+    run_granularity_ablation,
+    run_queryseg_comparison,
+)
+
+__all__ = [
+    "ExperimentWorkload",
+    "build_workload",
+    "make_store",
+    "run_program",
+    "format_table",
+    "run_table1",
+    "paper_table1",
+    "run_table2",
+    "paper_table2",
+    "run_fig1a",
+    "paper_fig1a",
+    "run_fig1b",
+    "paper_fig1b",
+    "run_fig3a",
+    "paper_fig3a",
+    "run_fig3b",
+    "paper_fig3b",
+    "run_fig4",
+    "paper_fig4",
+    "run_formatdb_cost",
+    "paper_formatdb",
+    "run_output_ablation",
+    "run_input_ablation",
+    "run_pruning_ablation",
+    "run_granularity_ablation",
+    "run_queryseg_comparison",
+]

@@ -1,0 +1,175 @@
+"""Ablations: isolate each pioBLAST technique and the §5 extensions.
+
+The paper presents pioBLAST as a bundle; these harnesses quantify each
+design choice separately (DESIGN.md's per-technique index):
+
+- **output ablation** — collective MPI-IO output vs master-serialized
+  writes of the same cached blocks (isolates §3.3 from §3.2);
+- **input ablation** — range-based parallel input vs every worker
+  reading the whole database (isolates §3.1's virtual partitioning);
+- **pruning** — §5 early score communication: message volume saved,
+  output unchanged;
+- **granularity** — §5 adaptive fragments under a heterogeneous
+  (skewed) platform: coarse+refined work queue vs natural partitioning;
+- **query segmentation** — the §2.1 prior-generation baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.experiments.common import (
+    ExperimentWorkload,
+    format_table,
+    make_store,
+    run_program,
+)
+from repro.parallel import run_pioblast
+from repro.parallel.phases import PhaseBreakdown, breakdown_from_run
+from repro.platforms import NCSU_BLADE, ORNL_ALTIX
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    label: str
+    breakdown: PhaseBreakdown
+    messages: int = 0
+    bytes_sent: int = 0
+
+
+def run_output_ablation(
+    wl: ExperimentWorkload | None = None, nprocs: int = 32
+) -> list[AblationRow]:
+    w = wl if wl is not None else ExperimentWorkload()
+    rows = []
+    for label, overrides in (
+        ("pio (collective output)", {}),
+        ("pio (serialized output)", {"collective_output": False}),
+    ):
+        b, _, _ = run_program(
+            "pioblast", nprocs, w, ORNL_ALTIX, config_overrides=overrides
+        )
+        rows.append(AblationRow(label, b))
+    mpi, _, _ = run_program("mpiblast", nprocs, w, ORNL_ALTIX)
+    rows.append(AblationRow("mpiBLAST (reference)", mpi))
+    return rows
+
+
+def run_input_ablation(
+    wl: ExperimentWorkload | None = None, nprocs: int = 16
+) -> list[AblationRow]:
+    w = wl if wl is not None else ExperimentWorkload()
+    rows = []
+    for label, overrides in (
+        ("pio (range input)", {}),
+        ("pio (whole-file input)", {"parallel_input": False}),
+    ):
+        b, _, _ = run_program(
+            "pioblast", nprocs, w, NCSU_BLADE, config_overrides=overrides
+        )
+        rows.append(AblationRow(label, b))
+    return rows
+
+
+def run_pruning_ablation(
+    wl: ExperimentWorkload | None = None, nprocs: int = 16
+) -> tuple[list[AblationRow], bool]:
+    """Returns rows + whether output was identical with pruning on."""
+    base = wl if wl is not None else ExperimentWorkload()
+    # A binding report cap is what gives the global cut line teeth.
+    from repro.blast.engine import SearchParams
+
+    w = replace(
+        base, search=replace(base.search, max_alignments=5)
+    )
+    outputs = []
+    rows = []
+    for label, overrides in (
+        ("pio (no pruning)", {}),
+        ("pio (early score pruning)", {"early_score_pruning": True}),
+    ):
+        store, cfg = make_store(w)
+        cfg = replace(cfg, **overrides)
+        res = run_pioblast(nprocs, store, cfg, ORNL_ALTIX)
+        rows.append(
+            AblationRow(
+                label,
+                breakdown_from_run("pioblast", res),
+                messages=res.messages_sent,
+                bytes_sent=res.bytes_sent,
+            )
+        )
+        outputs.append(store.read_all(cfg.output_path))
+    return rows, outputs[0] == outputs[1]
+
+
+def run_granularity_ablation(
+    wl: ExperimentWorkload | None = None, nprocs: int = 9
+) -> list[AblationRow]:
+    """Adaptive granularity (§5) on a *heterogeneous* cluster.
+
+    Half the workers run at 40% speed.  Natural partitioning (one
+    fragment per worker) stalls on the slow nodes; the work-queue with
+    finer fragments rebalances — at the price of per-fragment kernel
+    overhead, which is the paper's granularity/overhead compromise.
+    """
+    base = wl if wl is not None else ExperimentWorkload()
+    # Granularity refinement pays when imbalance dominates per-fragment
+    # overhead; per-fragment kernel setup scales with the query count
+    # (the Fig. 1(b) effect), so this experiment uses a lighter query
+    # set and a strongly skewed cluster — the regime the paper's §5
+    # "heterogeneous nodes or skewed search" points at.
+    w = replace(base, query_bytes=min(base.query_bytes, 4000))
+    skewed = replace(
+        ORNL_ALTIX,
+        name="ornl-altix-skewed",
+        cpu_speed_per_rank=(1.0, 1.0, 0.25),
+    )
+    rows = []
+    for label, overrides in (
+        ("pio natural (W fragments)", {}),
+        (
+            "pio adaptive (2W fragments, work queue)",
+            {"adaptive_granularity": True},
+        ),
+        (
+            "pio fine (4W fragments, work queue)",
+            {"num_fragments": 4 * (nprocs - 1)},
+        ),
+    ):
+        b, _, _ = run_program(
+            "pioblast", nprocs, w, skewed, config_overrides=overrides
+        )
+        rows.append(AblationRow(label, b))
+    return rows
+
+
+def run_queryseg_comparison(
+    wl: ExperimentWorkload | None = None, nprocs: int = 16
+) -> list[AblationRow]:
+    w = wl if wl is not None else ExperimentWorkload()
+    rows = []
+    qs, _, _ = run_program("queryseg", nprocs, w, NCSU_BLADE)
+    rows.append(AblationRow("query segmentation", qs))
+    pio, _, _ = run_program("pioblast", nprocs, w, NCSU_BLADE)
+    rows.append(AblationRow("pioBLAST (db segmentation)", pio))
+    return rows
+
+
+def render_ablation(title: str, rows: list[AblationRow]) -> str:
+    table_rows = []
+    for r in rows:
+        table_rows.append(
+            [
+                r.label,
+                r.breakdown.copy_input,
+                r.breakdown.search,
+                r.breakdown.output,
+                r.breakdown.total,
+            ]
+        )
+    return format_table(
+        title,
+        ["variant", "copy/input", "search", "output", "total"],
+        table_rows,
+    )

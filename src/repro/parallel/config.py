@@ -1,0 +1,84 @@
+"""Run configuration shared by every parallel driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blast.alphabet import PROTEIN, Alphabet
+from repro.blast.engine import SearchParams
+from repro.blast.fasta import SeqRecord, write_fasta
+from repro.blast.formatdb import formatdb
+from repro.costmodel import CostModel
+from repro.simmpi import FileStore
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Inputs of one parallel search run.
+
+    ``num_fragments = 0`` means *natural partitioning*: one fragment per
+    worker (the paper's default for both programs).
+    """
+
+    db_name: str = "nr"
+    query_path: str = "queries.fasta"
+    output_path: str = "results.out"
+    search: SearchParams = field(default_factory=SearchParams)
+    cost: CostModel = field(default_factory=CostModel)
+    num_fragments: int = 0  # 0 → natural partitioning (nworkers)
+    # Ablation switches (pioBLAST techniques; all on = the paper's pio).
+    parallel_input: bool = True
+    result_caching: bool = True
+    collective_output: bool = True
+    # §5 extensions.
+    early_score_pruning: bool = False
+    adaptive_granularity: bool = False
+    # Query batching / pipelined output (§5: "adaptive approaches, such
+    # as query batching and pipelining that adjust to the amount of
+    # available memory").  0 = process all queries in one round; N > 0
+    # bounds the worker result cache to one N-query round at a time,
+    # with one collective write per round.
+    query_batch: int = 0
+
+    def fragments_for(self, nworkers: int) -> int:
+        return self.num_fragments if self.num_fragments > 0 else nworkers
+
+    def query_batches(self, nqueries: int) -> list[tuple[int, int]]:
+        """[lo, hi) query-index ranges per processing round."""
+        if self.query_batch <= 0 or self.query_batch >= nqueries:
+            return [(0, nqueries)]
+        return [
+            (lo, min(lo + self.query_batch, nqueries))
+            for lo in range(0, nqueries, self.query_batch)
+        ]
+
+
+def stage_inputs(
+    store: FileStore,
+    db_records: list[SeqRecord],
+    query_records: list[SeqRecord],
+    *,
+    config: ParallelConfig | None = None,
+    alphabet: Alphabet = PROTEIN,
+    title: str | None = None,
+    max_letters_per_volume: int | None = None,
+) -> ParallelConfig:
+    """Stage a formatted database and a query file onto the shared store.
+
+    This is the user-visible preprocessing step (``formatdb``), shared by
+    every driver; mpiBLAST additionally needs :func:`mpiformatdb`
+    fragmentation, which pioBLAST eliminates.
+    """
+    cfg = config if config is not None else ParallelConfig()
+    formatdb(
+        db_records,
+        cfg.db_name,
+        lambda p, d: store.write(p, 0, d),
+        alphabet=alphabet,
+        title=title or cfg.db_name,
+        max_letters_per_volume=max_letters_per_volume,
+    )
+    store.write(
+        cfg.query_path, 0, write_fasta(query_records).encode("utf-8")
+    )
+    return cfg

@@ -1,0 +1,312 @@
+"""mpiBLAST 1.2.1 data-flow reproduction (the paper's baseline).
+
+Master/worker organisation per the paper §2.2 and §3.2:
+
+1. The database was *pre-partitioned* into physical fragments by
+   ``mpiformatdb`` (outside this run — its cost is the operational
+   overhead the paper §3.1 criticises).
+2. The master broadcasts the query set, then greedily assigns
+   un-searched fragments to idle workers.
+3. A worker **copies** its fragment from shared storage to local
+   storage (on the Altix, which exposes no user local disks, the copy
+   target is shared job scratch — §4.1), then **searches** it with the
+   real BLAST kernel, memory-mapping the local copy (the load is
+   charged inside the search phase, as mpiBLAST's mmap I/O is).
+4. The worker ships per-query result *metadata* to the master and keeps
+   alignment data locally.
+5. Once every fragment has reported, the master merges each query's
+   candidates, and — serially, per selected alignment — **fetches** the
+   alignment data from the owning worker, renders the output block, and
+   appends it to the single output file with a small write.  This
+   serialized fetch/format/write loop is the bottleneck Table 1 shows
+   (the "result fetching" alone is >40% of output time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.blast.engine import BlastSearch
+from repro.blast.formatdb import DatabaseVolume
+from repro.blast.hsp import Alignment
+from repro.parallel.assignment import GreedyAssigner
+from repro.parallel.common import (
+    GlobalDbInfo,
+    footer_bytes_for,
+    header_bytes_for,
+    parse_index,
+    read_queries_bytes,
+    search_fragment_timed,
+    writer_for,
+)
+from repro.parallel.config import ParallelConfig
+from repro.parallel.fragments import fragment_paths
+from repro.parallel.results import AlignmentMeta, merge_select, meta_from_alignment
+from repro.simmpi import FileStore, PlatformSpec, ProcContext, RunResult, Status
+from repro.simmpi.comm import ANY_SOURCE, ANY_TAG
+from repro.simmpi.launcher import run
+
+TAG_WORKREQ = 10
+TAG_ASSIGN = 11
+TAG_RESULT = 12
+TAG_FETCH = 13
+TAG_FETCHRESP = 14
+TAG_DONE = 15
+
+NO_MORE_WORK = -1
+
+
+@dataclass
+class _Setup:
+    """Broadcast payload: everything a worker needs to start."""
+
+    queries: list
+    ranges: list[tuple[int, int]]
+    info: GlobalDbInfo
+
+    def payload_nbytes(self) -> int:
+        qbytes = sum(len(q.defline) + len(q.sequence) for q in self.queries)
+        return qbytes + 16 * len(self.ranges) + self.info.payload_nbytes()
+
+
+def _master(ctx: ProcContext, cfg: ParallelConfig) -> None:
+    comm = ctx.comm
+    cost = cfg.cost
+    nworkers = ctx.size - 1
+    nfrag = cfg.fragments_for(nworkers)
+    ctx.compute(cost.init_seconds())
+
+    # ---- setup ("other"): read queries + global index, broadcast ----
+    qdata = ctx.fs.read(
+        cfg.query_path, charge_bytes=cost.wire_bytes(ctx.fs.size(cfg.query_path))
+    )
+    queries = read_queries_bytes(qdata)
+    index = parse_index(
+        ctx.fs.read(
+            f"{cfg.db_name}.xin",
+            charge_bytes=cost.db_wire_bytes(ctx.fs.size(f"{cfg.db_name}.xin")),
+        )
+    )
+    info = GlobalDbInfo(index.title, index.nseqs, index.total_letters)
+    ranges = index.partition_ranges(nfrag)
+    setup = _Setup(queries, ranges, info)
+    comm.bcast(setup, root=0)
+
+    engine = BlastSearch(cfg.search)
+    writer = writer_for(engine, info)
+
+    # ---- assignment + result collection (overlaps worker search) ----
+    assigner = GreedyAssigner(nfrag)
+    results: list[list[AlignmentMeta]] = [[] for _ in queries]
+    fragments_reported = 0
+    workers_released = 0
+    while fragments_reported < nfrag or workers_released < nworkers:
+        st = Status()
+        payload = comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=st)
+        if st.tag == TAG_WORKREQ:
+            frag = assigner.assign(st.source)
+            if frag is None:
+                comm.send(NO_MORE_WORK, dest=st.source, tag=TAG_ASSIGN)
+                workers_released += 1
+            else:
+                assigner.note_holding(st.source, frag)
+                comm.send(frag, dest=st.source, tag=TAG_ASSIGN)
+        elif st.tag == TAG_RESULT:
+            _frag_id, metas_per_query = payload
+            for qi, metas in enumerate(metas_per_query):
+                results[qi].extend(metas)
+            fragments_reported += 1
+        else:  # pragma: no cover - protocol error
+            raise RuntimeError(f"unexpected tag {st.tag}")
+
+    # ---- serialized merge + fetch + output ----
+    with ctx.phase("output"):
+        out = cfg.output_path
+        pre = writer.preamble()
+        ctx.fs.write(out, 0, pre, charge_bytes=cost.wire_bytes(len(pre)))
+        offset = len(pre)
+        for qi, qrec in enumerate(queries):
+            candidates = results[qi]
+            # Centralized screening of full result-alignment structures,
+            # then the global-statistics filter that restores exactly the
+            # serial result list.
+            ctx.compute(cost.candidate_processing_seconds(len(candidates)))
+            passing = [
+                m for m in candidates if m.evalue <= cfg.search.expect
+            ]
+            selected = merge_select(passing, cfg.search.max_alignments)
+            header = header_bytes_for(writer, qrec, selected)
+            ctx.fs.write(
+                out, offset, header, charge_bytes=cost.wire_bytes(len(header))
+            )
+            offset += len(header)
+            for m in selected:
+                # Serial fetch of alignment data from the owning worker.
+                ctx.compute(cost.fetch_overhead_seconds())
+                comm.send((qi, m.local_id), dest=m.owner_rank, tag=TAG_FETCH)
+                al: Alignment = comm.recv(source=m.owner_rank, tag=TAG_FETCHRESP)
+                block = writer.alignment_block(al)
+                ctx.compute(cost.render_seconds(len(block)))
+                ctx.fs.write(
+                    out,
+                    offset,
+                    block,
+                    charge_bytes=cost.wire_bytes(len(block)),
+                )
+                offset += len(block)
+            footer = footer_bytes_for(writer, engine, qrec, info)
+            ctx.fs.write(
+                out, offset, footer, charge_bytes=cost.wire_bytes(len(footer))
+            )
+            offset += len(footer)
+
+    for w in range(1, ctx.size):
+        comm.send(None, dest=w, tag=TAG_DONE)
+
+
+def _worker(ctx: ProcContext, cfg: ParallelConfig) -> None:
+    comm = ctx.comm
+    cost = cfg.cost
+    setup: _Setup = comm.bcast(None, root=0)
+    ctx.compute(cost.init_seconds())
+    queries, ranges, info = setup.queries, setup.ranges, setup.info
+    engine = BlastSearch(cfg.search)
+    # Local result cache: (query_index, local_id) -> Alignment.
+    cache: dict[tuple[int, int], Alignment] = {}
+    next_local_id = 0
+    # Copy target: private local disk when the platform has one, shared
+    # job scratch otherwise (the Altix case, §4.1).
+    local = ctx.local_disk
+
+    while True:
+        comm.send(ctx.rank, dest=0, tag=TAG_WORKREQ)
+        frag = comm.recv(source=0, tag=TAG_ASSIGN)
+        if frag == NO_MORE_WORK:
+            break
+        lo, hi = ranges[frag]
+        paths = fragment_paths(cfg.db_name, frag)
+
+        with ctx.phase("copy"):
+            for ext, path in paths.items():
+                nbytes = ctx.fs.size(path)
+                wire = int(cost.db_wire_bytes(nbytes) * cost.copy_inefficiency)
+                data = ctx.fs.read(path, charge_bytes=wire)
+                # cp-style buffered copy: every chunk pays metadata/
+                # syscall overhead on both sides (see CostModel).
+                ctx.engine.sleep(
+                    cost.copy_chunk_overhead_seconds(
+                        wire, ctx.fs.op_overhead
+                    )
+                )
+                target = f"scratch/r{ctx.rank}/{path}"
+                if local is not None:
+                    local.write(target, 0, data, charge_bytes=wire)
+                    ctx.engine.sleep(
+                        cost.copy_chunk_overhead_seconds(
+                            wire, local.op_overhead
+                        )
+                    )
+                else:
+                    ctx.fs.write(target, 0, data, charge_bytes=wire)
+                    ctx.engine.sleep(
+                        cost.copy_chunk_overhead_seconds(
+                            wire, ctx.fs.op_overhead
+                        )
+                    )
+
+        with ctx.phase("search"):
+            # mpiBLAST memory-maps the local copy: the load is I/O
+            # embedded in the search stage.
+            loaded: dict[str, bytes] = {}
+            for ext, path in paths.items():
+                target = f"scratch/r{ctx.rank}/{path}"
+                src = local if local is not None else ctx.fs
+                loaded[ext] = src.read(
+                    target,
+                    charge_bytes=int(
+                        cost.db_wire_bytes(src.size(target))
+                        * cost.mmap_inefficiency
+                    ),
+                )
+            fidx = parse_index(loaded["xin"])
+            volume = DatabaseVolume(fidx, loaded["xhr"], loaded["xsq"])
+            # An un-informed per-fragment NCBI run filters against the
+            # fragment's own statistics: more marginal candidates pass
+            # and flow to the master (paper 3.2 / 5).
+            per_query = search_fragment_timed(
+                ctx, engine, queries, volume, info, lo, cost,
+                filter_local=True,
+            )
+
+        # Submit result metadata; keep alignment data locally.
+        metas_per_query: list[list[AlignmentMeta]] = []
+        for qi, als in enumerate(per_query):
+            metas = []
+            for al in als:
+                key = (qi, next_local_id)
+                cache[key] = al
+                metas.append(
+                    meta_from_alignment(al, ctx.rank, next_local_id, 0)
+                )
+                next_local_id += 1
+            metas_per_query.append(metas)
+        payload_bytes = sum(
+            m.payload_nbytes() for ms in metas_per_query for m in ms
+        )
+        comm.send(
+            (frag, metas_per_query),
+            dest=0,
+            tag=TAG_RESULT,
+            nbytes=cost.wire_bytes(payload_bytes),
+        )
+
+    # Serve the master's serialized fetches until DONE.
+    while True:
+        st = Status()
+        msg = comm.recv(source=0, tag=ANY_TAG, status=st)
+        if st.tag == TAG_DONE:
+            break
+        if st.tag != TAG_FETCH:  # pragma: no cover - protocol error
+            raise RuntimeError(f"unexpected tag {st.tag}")
+        qi, local_id = msg
+        al = cache[(qi, local_id)]
+        comm.send(
+            al,
+            dest=0,
+            tag=TAG_FETCHRESP,
+            nbytes=cfg.cost.wire_bytes(al.payload_nbytes()),
+        )
+
+
+def _program(ctx: ProcContext) -> Any:
+    cfg: ParallelConfig = ctx.args["config"]
+    if ctx.rank == 0:
+        _master(ctx, cfg)
+    else:
+        _worker(ctx, cfg)
+    return None
+
+
+def run_mpiblast(
+    nprocs: int,
+    store: FileStore,
+    config: ParallelConfig,
+    platform: PlatformSpec | None = None,
+) -> RunResult:
+    """Run the mpiBLAST reproduction on a simulated cluster.
+
+    ``store`` must already hold the formatted database, its physical
+    fragments (see :func:`repro.parallel.fragments.mpiformatdb` — run it
+    with ``config.fragments_for(nprocs - 1)`` fragments), and the query
+    file.  The report lands at ``config.output_path`` in the store.
+    """
+    if nprocs < 2:
+        raise ValueError("mpiBLAST needs a master and at least one worker")
+    return run(
+        nprocs,
+        _program,
+        platform,
+        shared_store=store,
+        args={"config": config},
+    )

@@ -1,0 +1,68 @@
+"""Phase breakdown of a run, in the paper's Table-1 vocabulary.
+
+The paper decomposes total execution time into Copy/Input, Search,
+Output (result merging + writing), and Other.  We take the max over
+ranks for each explicitly timed phase (phases are effectively
+barrier-separated in both drivers: no query output starts before the
+last fragment reports) and attribute the remainder of the makespan to
+Other, exactly the residual accounting the paper uses ("tasks not
+counted in the previous three columns").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simmpi import RunResult
+
+COPY = "copy"
+INPUT = "input"
+SEARCH = "search"
+OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Table-1 style row."""
+
+    program: str
+    nprocs: int
+    copy_input: float
+    search: float
+    output: float
+    other: float
+    total: float
+
+    @property
+    def search_share(self) -> float:
+        """Fraction of total time spent in the BLAST search."""
+        return self.search / self.total if self.total > 0 else 0.0
+
+    @property
+    def non_search(self) -> float:
+        return self.total - self.search
+
+    def row(self) -> dict[str, float]:
+        return {
+            "copy_input": self.copy_input,
+            "search": self.search,
+            "output": self.output,
+            "other": self.other,
+            "total": self.total,
+        }
+
+
+def breakdown_from_run(program: str, result: RunResult) -> PhaseBreakdown:
+    copy_input = result.phase_max(COPY) + result.phase_max(INPUT)
+    search = result.phase_max(SEARCH)
+    output = result.phase_max(OUTPUT)
+    other = max(result.makespan - copy_input - search - output, 0.0)
+    return PhaseBreakdown(
+        program=program,
+        nprocs=result.nprocs,
+        copy_input=copy_input,
+        search=search,
+        output=output,
+        other=other,
+        total=result.makespan,
+    )

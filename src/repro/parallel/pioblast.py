@@ -1,0 +1,417 @@
+"""pioBLAST: the paper's optimized parallel BLAST (§3).
+
+The four techniques, all implemented here (each can be switched off for
+the ablation benchmarks via :class:`repro.parallel.config.ParallelConfig`):
+
+1. **Dynamic virtual partitioning** (§3.1) — the master reads only the
+   global index, computes ``(start, end)`` byte ranges per fragment, and
+   scatters them; no physical fragments exist.
+2. **Parallel input** (§3.1) — each worker reads its byte ranges of the
+   global ``.xhr``/``.xsq`` with individual MPI-IO reads, concurrently,
+   into memory buffers; the search kernel runs on those buffers.
+3. **Result caching + metadata-only merging** (§3.2) — workers render
+   their alignment output blocks into memory as results are produced and
+   submit only (ids, scores, block sizes) to the master; alignment data
+   never makes a round trip.
+4. **Parallel collective output** (§3.3) — the master computes every
+   block's byte offset in the single output file, distributes offsets,
+   and all ranks write their pieces with one collective MPI-IO
+   ``write_at_all`` (the master contributes the preamble, per-query
+   headers and footers).
+
+§5 extensions (off by default, used by the extension benchmarks):
+early-score pruning — an allreduce of per-query score cut lines before
+metadata submission — and adaptive granularity (more virtual fragments
+than workers, assigned from a work queue).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.blast.engine import BlastSearch
+from repro.blast.hsp import Alignment
+from repro.parallel.common import (
+    GlobalDbInfo,
+    footer_bytes_for,
+    header_bytes_for,
+    parse_index,
+    read_queries_bytes,
+    search_fragment_timed,
+    writer_for,
+)
+from repro.parallel.config import ParallelConfig
+from repro.blast.formatdb import DatabaseVolume
+from repro.parallel.fragments import (
+    VolumePiece,
+    pieces_for_single_volume,
+    virtual_partition_multi,
+)
+from repro.parallel.pruning import prune_metas, score_cutlines
+from repro.parallel.results import AlignmentMeta, merge_select, meta_from_alignment
+from repro.simmpi import (
+    FileStore,
+    FileView,
+    MPIFile,
+    PlatformSpec,
+    ProcContext,
+    RunResult,
+)
+from repro.simmpi.launcher import run
+
+TAG_SELECT = 30
+TAG_FETCH = 31
+TAG_FETCHRESP = 32
+TAG_WQ_REQ = 33
+TAG_WQ_ASSIGN = 34
+
+NO_MORE_WORK = -1
+
+
+def _worker_fragments(
+    ctx: ProcContext, cfg: ParallelConfig, frags: list[list[VolumePiece]]
+) -> list[list[VolumePiece]]:
+    """Fragments this worker searches (each a list of volume pieces).
+
+    Natural partitioning: fragment ``rank-1`` (one per worker).  With
+    more fragments than workers (adaptive granularity), the master runs
+    a small work queue over the fragment list.
+    """
+    comm = ctx.comm
+    nworkers = ctx.size - 1
+    if len(frags) == nworkers and not cfg.adaptive_granularity:
+        return [frags[ctx.rank - 1]]
+    # Work queue: request fragments until exhausted.
+    mine: list[list[VolumePiece]] = []
+    while True:
+        comm.send(ctx.rank, dest=0, tag=TAG_WQ_REQ)
+        fid = comm.recv(source=0, tag=TAG_WQ_ASSIGN)
+        if fid == NO_MORE_WORK:
+            return mine
+        mine.append(frags[fid])
+
+
+def _master_work_queue(ctx: ProcContext, nfrags: int) -> None:
+    comm = ctx.comm
+    nworkers = ctx.size - 1
+    next_frag = 0
+    released = 0
+    while released < nworkers:
+        w = comm.recv(source=-1, tag=TAG_WQ_REQ)
+        if next_frag < nfrags:
+            comm.send(next_frag, dest=w, tag=TAG_WQ_ASSIGN)
+            next_frag += 1
+        else:
+            comm.send(NO_MORE_WORK, dest=w, tag=TAG_WQ_ASSIGN)
+            released += 1
+
+
+def _master(ctx: ProcContext, cfg: ParallelConfig) -> None:
+    comm = ctx.comm
+    cost = cfg.cost
+    nworkers = ctx.size - 1
+    nfrag = cfg.fragments_for(nworkers)
+    if cfg.adaptive_granularity and cfg.num_fragments == 0:
+        nfrag = 2 * nworkers
+    ctx.compute(cost.init_seconds())
+
+    # ---- setup: queries + dynamic partitioning from the global index ----
+    qdata = ctx.fs.read(
+        cfg.query_path, charge_bytes=cost.wire_bytes(ctx.fs.size(cfg.query_path))
+    )
+    queries = read_queries_bytes(qdata)
+    # Multi-volume databases (the 11 GB nt case, paper §4): read every
+    # volume's index and partition over the concatenated space.
+    if ctx.fs.exists(f"{cfg.db_name}.xal"):
+        from repro.blast.formatdb import parse_alias
+
+        bases, alias_title = parse_alias(ctx.fs.read(f"{cfg.db_name}.xal"))
+    else:
+        bases, alias_title = [cfg.db_name], None
+    index_bytes: dict[str, bytes] = {}
+    indexes = []
+    for base in bases:
+        data = ctx.fs.read(
+            f"{base}.xin",
+            charge_bytes=cost.db_wire_bytes(ctx.fs.size(f"{base}.xin")),
+        )
+        index_bytes[base] = data
+        indexes.append(parse_index(data))
+    info = GlobalDbInfo(
+        alias_title or indexes[0].title,
+        sum(ix.nseqs for ix in indexes),
+        sum(ix.total_letters for ix in indexes),
+    )
+    if len(bases) == 1:
+        frags = pieces_for_single_volume(indexes[0], cfg.db_name, nfrag)
+    else:
+        frags = virtual_partition_multi(indexes, bases, nfrag)
+    comm.bcast((queries, info, frags, index_bytes), root=0)
+
+    engine = BlastSearch(cfg.search)
+    writer = writer_for(engine, info)
+
+    # Adaptive granularity: drive the fragment work queue.
+    if len(frags) != nworkers or cfg.adaptive_granularity:
+        _master_work_queue(ctx, len(frags))
+
+    # ---- merge + output, one round per query batch (§5 batching) ----
+    offset = 0
+    for batch_no, (qlo, qhi) in enumerate(cfg.query_batches(len(queries))):
+        if cfg.early_score_pruning:
+            comm.allreduce(
+                {},
+                op=lambda a, b: score_cutlines(
+                    a, b, cfg.search.max_alignments
+                ),
+            )
+        gathered = comm.gatherv(None, root=0)
+        per_query: list[list[AlignmentMeta]] = [[] for _ in range(qhi - qlo)]
+        for worker_metas in gathered:
+            if not worker_metas:
+                continue
+            for qi, metas in enumerate(worker_metas):
+                per_query[qi].extend(metas)
+
+        with ctx.phase("output"):
+            master_regions: list[tuple[int, int]] = []
+            master_buffers: list[bytes] = []
+            if batch_no == 0:
+                pre = writer.preamble()
+                master_regions.append((0, len(pre)))
+                master_buffers.append(pre)
+                offset = len(pre)
+            selections: dict[int, list[tuple[int, int]]] = {
+                w: [] for w in range(1, ctx.size)
+            }  # worker -> [(local_id, file offset)]
+            for qi in range(qhi - qlo):
+                qrec = queries[qlo + qi]
+                candidates = per_query[qi]
+                ctx.compute(cost.merge_seconds(len(candidates)))
+                selected = merge_select(candidates, cfg.search.max_alignments)
+                header = header_bytes_for(writer, qrec, selected)
+                master_regions.append((offset, len(header)))
+                master_buffers.append(header)
+                offset += len(header)
+                for m in selected:
+                    selections[m.owner_rank].append((m.local_id, offset))
+                    offset += m.block_nbytes
+                footer = footer_bytes_for(writer, engine, qrec, info)
+                master_regions.append((offset, len(footer)))
+                master_buffers.append(footer)
+                offset += len(footer)
+
+            if cfg.collective_output:
+                # Notify workers of their selected blocks + offsets.
+                for w in range(1, ctx.size):
+                    comm.send(selections[w], dest=w, tag=TAG_SELECT)
+                f = MPIFile(comm, ctx.fs, cfg.output_path)
+                f.set_view(FileView(regions=master_regions))
+                f.write_at_all(master_buffers, data_scale=cost.data_scale)
+            else:
+                # Ablation: master-serialized writing of worker blocks
+                # (the mpiBLAST output path, but with cached blocks:
+                # isolates collective I/O from caching).
+                for w in range(1, ctx.size):
+                    comm.send(selections[w], dest=w, tag=TAG_SELECT)
+                for region, buf in zip(master_regions, master_buffers):
+                    ctx.fs.write(
+                        cfg.output_path,
+                        region[0],
+                        buf,
+                        charge_bytes=cost.wire_bytes(len(buf)),
+                    )
+                for w in range(1, ctx.size):
+                    for local_id, off in selections[w]:
+                        ctx.compute(cost.fetch_overhead_seconds())
+                        comm.send((local_id,), dest=w, tag=TAG_FETCH)
+                        block: bytes = comm.recv(source=w, tag=TAG_FETCHRESP)
+                        ctx.fs.write(
+                            cfg.output_path,
+                            off,
+                            block,
+                            charge_bytes=cost.wire_bytes(len(block)),
+                        )
+                    comm.send(None, dest=w, tag=TAG_FETCH)
+
+
+def _worker(ctx: ProcContext, cfg: ParallelConfig) -> None:
+    comm = ctx.comm
+    cost = cfg.cost
+    queries, info, frags, index_bytes = comm.bcast(None, root=0)
+    ctx.compute(cost.init_seconds())
+    indexes = {base: parse_index(data) for base, data in index_bytes.items()}
+    engine = BlastSearch(cfg.search)
+
+    mine = _worker_fragments(ctx, cfg, frags)
+
+    # ---- parallel input: read my byte ranges of the global files ----
+    # One fragment is a list of volume pieces; multi-volume fragments
+    # read from several global files (the paper's §4 extension).
+    loaded: list[list[tuple[VolumePiece, DatabaseVolume]]] = []
+    with ctx.phase("input"):
+        for pieces in mine:
+            frag_vols = []
+            for piece in pieces:
+                fx_hr = MPIFile(comm, ctx.fs, f"{piece.base_name}.xhr")
+                fx_sq = MPIFile(comm, ctx.fs, f"{piece.base_name}.xsq")
+                if cfg.parallel_input:
+                    xhr = fx_hr.read_at(
+                        *piece.xhr_range,
+                        charge_bytes=cost.db_wire_bytes(piece.xhr_range[1]),
+                    )
+                    xsq = fx_sq.read_at(
+                        *piece.xsq_range,
+                        charge_bytes=cost.db_wire_bytes(piece.xsq_range[1]),
+                    )
+                else:
+                    # Ablation: every worker reads the *whole* files and
+                    # slices locally (no range-based parallel input).
+                    hr_size = ctx.fs.size(f"{piece.base_name}.xhr")
+                    sq_size = ctx.fs.size(f"{piece.base_name}.xsq")
+                    whole_hr = fx_hr.read_at(
+                        0, hr_size, charge_bytes=cost.db_wire_bytes(hr_size)
+                    )
+                    whole_sq = fx_sq.read_at(
+                        0, sq_size, charge_bytes=cost.db_wire_bytes(sq_size)
+                    )
+                    h0, hn = piece.xhr_range
+                    s0, sn = piece.xsq_range
+                    xhr = whole_hr[h0 : h0 + hn]
+                    xsq = whole_sq[s0 : s0 + sn]
+                vol = DatabaseVolume(
+                    indexes[piece.base_name], xhr, xsq,
+                    lo=piece.lo, hi=piece.hi,
+                )
+                frag_vols.append((piece, vol))
+            loaded.append(frag_vols)
+
+    # ---- per-batch rounds: search → cache → merge → write (§5) ----
+    # The cache lives for one round only, bounding worker memory to one
+    # batch of results; each round ends in one collective write.
+    writer = writer_for(engine, info)
+    flat_pieces = [pv for frag_vols in loaded for pv in frag_vols]
+    for qlo, qhi in cfg.query_batches(len(queries)):
+        batch = queries[qlo:qhi]
+        cache: list[bytes | Alignment] = []
+        metas_per_query: list[list[AlignmentMeta]] = [[] for _ in batch]
+        with ctx.phase("search"):
+            for piece, volume in flat_pieces:
+                per_query = search_fragment_timed(
+                    ctx, engine, batch, volume, info, piece.global_base,
+                    cost,
+                )
+                for qi, als in enumerate(per_query):
+                    for al in als:
+                        local_id = len(cache)
+                        block = writer.alignment_block(al)
+                        ctx.compute(cost.render_seconds(len(block)))
+                        if cfg.result_caching:
+                            cache.append(block)
+                        else:
+                            # Ablation: cache the raw alignment; render
+                            # again at output time (sizes must still be
+                            # known for the layout — the double cost the
+                            # caching technique removes).
+                            cache.append(al)
+                        metas_per_query[qi].append(
+                            meta_from_alignment(
+                                al, ctx.rank, local_id, len(block)
+                            )
+                        )
+
+        # §5 extension: early score communication + local pruning.
+        if cfg.early_score_pruning:
+            local_cuts = {
+                qi: sorted((m.score for m in metas), reverse=True)
+                for qi, metas in enumerate(metas_per_query)
+                if metas
+            }
+            cuts = comm.allreduce(
+                local_cuts,
+                op=lambda a, b: score_cutlines(
+                    a, b, cfg.search.max_alignments
+                ),
+            )
+            metas_per_query = prune_metas(
+                metas_per_query, cuts, cfg.search.max_alignments
+            )
+
+        # Submit metadata only.
+        comm.gatherv(metas_per_query, root=0)
+
+        # Waiting for the master's selection is idle time, not output
+        # work; the phase starts once this worker has blocks to write.
+        selections: list[tuple[int, int]] = comm.recv(
+            source=0, tag=TAG_SELECT
+        )
+        with ctx.phase("output"):
+            if cfg.collective_output:
+                regions = []
+                buffers = []
+                for local_id, off in selections:
+                    entry = cache[local_id]
+                    block = (
+                        entry
+                        if isinstance(entry, bytes)
+                        else writer.alignment_block(entry)
+                    )
+                    if not isinstance(entry, bytes):
+                        ctx.compute(cost.render_seconds(len(block)))
+                    regions.append((off, len(block)))
+                    buffers.append(block)
+                f = MPIFile(comm, ctx.fs, cfg.output_path)
+                f.set_view(FileView(regions=regions))
+                f.write_at_all(buffers, data_scale=cost.data_scale)
+            else:
+                while True:
+                    req = comm.recv(source=0, tag=TAG_FETCH)
+                    if req is None:
+                        break
+                    (local_id,) = req
+                    entry = cache[local_id]
+                    block = (
+                        entry
+                        if isinstance(entry, bytes)
+                        else writer.alignment_block(entry)
+                    )
+                    if not isinstance(entry, bytes):
+                        ctx.compute(cost.render_seconds(len(block)))
+                    comm.send(
+                        block,
+                        dest=0,
+                        tag=TAG_FETCHRESP,
+                        nbytes=cost.wire_bytes(len(block)),
+                    )
+
+
+def _program(ctx: ProcContext) -> Any:
+    cfg: ParallelConfig = ctx.args["config"]
+    if ctx.rank == 0:
+        _master(ctx, cfg)
+    else:
+        _worker(ctx, cfg)
+    return None
+
+
+def run_pioblast(
+    nprocs: int,
+    store: FileStore,
+    config: ParallelConfig,
+    platform: PlatformSpec | None = None,
+) -> RunResult:
+    """Run pioBLAST on a simulated cluster.
+
+    ``store`` needs only the *global* formatted database and the query
+    file — no pre-partitioning (that is the point).  The report lands at
+    ``config.output_path``, byte-identical to the serial reference.
+    """
+    if nprocs < 2:
+        raise ValueError("pioBLAST needs a master and at least one worker")
+    return run(
+        nprocs,
+        _program,
+        platform,
+        shared_store=store,
+        args={"config": config},
+    )

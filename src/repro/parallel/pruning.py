@@ -1,0 +1,52 @@
+"""Early score communication (§5 future work, implemented).
+
+"pioBLAST's result merging scheme can be further improved by early score
+communication ... broadcast the current global score threshold, so that
+workers can perform local pruning to stop processing for local results
+that fall under the global cut line."
+
+We realise it as one allreduce of per-query score lists truncated to the
+report cap: the merged value's k-th best score is the global cut line,
+and a worker drops every candidate *strictly below* it before shipping
+metadata.  Strictness guarantees the final selection is unchanged (the
+global top-k all score at least the cut line), so the optimisation is
+output-invariant — asserted by the tests.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.results import AlignmentMeta
+
+
+def score_cutlines(
+    a: dict[int, list[int]], b: dict[int, list[int]], max_alignments: int
+) -> dict[int, list[int]]:
+    """Associative merge of per-query descending score lists (top-k)."""
+    out: dict[int, list[int]] = {}
+    for qi in set(a) | set(b):
+        merged = sorted(a.get(qi, []) + b.get(qi, []), reverse=True)
+        out[qi] = merged[:max_alignments]
+    return out
+
+
+def cutline(scores: list[int], max_alignments: int) -> int | None:
+    """The global cut line: k-th best score once k candidates exist."""
+    if len(scores) < max_alignments:
+        return None
+    return scores[max_alignments - 1]
+
+
+def prune_metas(
+    metas_per_query: list[list[AlignmentMeta]],
+    cuts: dict[int, list[int]],
+    max_alignments: int,
+) -> list[list[AlignmentMeta]]:
+    """Drop candidates strictly below each query's global cut line."""
+    out: list[list[AlignmentMeta]] = []
+    for qi, metas in enumerate(metas_per_query):
+        line = cutline(cuts.get(qi, []), max_alignments)
+        if line is None:
+            out.append(metas)
+        else:
+            out.append([m for m in metas if m.score >= line])
+    return out

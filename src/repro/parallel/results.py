@@ -1,0 +1,69 @@
+"""Result metadata and the global merge/selection step.
+
+Workers never need to ship alignment *data* to decide the global result
+list — only the compact :class:`AlignmentMeta` (sort key, defline for
+the one-line descriptions, rendered-block size).  The master's
+``merge_select`` then reproduces exactly the ranking a serial run does,
+which is how all three drivers end up with byte-identical reports.
+
+In mpiBLAST, the same metadata flows to the master, but the alignment
+data must then be *fetched* from the owning worker, serially, per
+selected hit (paper §3.2) — the bottleneck pioBLAST removes by caching
+the rendered block on the worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blast.hsp import Alignment
+
+
+@dataclass(frozen=True)
+class AlignmentMeta:
+    """What a worker submits to the master per candidate alignment."""
+
+    query_index: int
+    owner_rank: int
+    local_id: int  # index into the worker's local cache
+    score: int
+    evalue: float
+    bit_score: float
+    subject_oid: int  # global id — part of the deterministic sort key
+    qstart: int
+    send: int
+    subject_defline: str  # for the one-line descriptions
+    block_nbytes: int  # size of the rendered alignment block
+
+    def sort_key(self) -> tuple:
+        """Must order identically to :meth:`Alignment.sort_key`."""
+        return (-self.score, self.evalue, self.subject_oid, self.qstart,
+                self.send)
+
+    def payload_nbytes(self) -> int:
+        return 56 + len(self.subject_defline)
+
+
+def meta_from_alignment(
+    al: Alignment, owner_rank: int, local_id: int, block_nbytes: int
+) -> AlignmentMeta:
+    return AlignmentMeta(
+        query_index=al.query_index,
+        owner_rank=owner_rank,
+        local_id=local_id,
+        score=al.score,
+        evalue=al.evalue,
+        bit_score=al.bit_score,
+        subject_oid=al.subject_oid,
+        qstart=al.qstart,
+        send=al.send,
+        subject_defline=al.subject_defline,
+        block_nbytes=block_nbytes,
+    )
+
+
+def merge_select(
+    metas: list[AlignmentMeta], max_alignments: int
+) -> list[AlignmentMeta]:
+    """Rank candidates for one query and keep the global top list."""
+    return sorted(metas, key=AlignmentMeta.sort_key)[:max_alignments]

@@ -1,0 +1,61 @@
+"""Platform presets mirroring the paper's two testbeds (§4.1, §4.2).
+
+``ORNL_ALTIX`` — "Ram", the 256-processor SGI Altix at Oak Ridge:
+1.5 GHz Itanium2, large shared memory, the XFS parallel filesystem, and
+*no user-accessible local disks* — which is why mpiBLAST's fragment
+"copy" stage on this machine copies into shared job scratch (§4.1).
+
+``NCSU_BLADE`` — the NCSU IBM Blade cluster: 2.8–3.0 GHz Xeons, NFS as
+the shared filesystem (significantly slower, the paper notes), and
+40 GB local disks per blade that mpiBLAST uses as the fragment copy
+target.
+
+Numbers are modelled, not measured: chosen so the relative phase
+behaviour (XFS ≫ NFS; copies hurt; collective writes ≫ serial small
+writes) reproduces the paper's shapes.
+"""
+
+from __future__ import annotations
+
+from repro.simmpi import NetworkModel, PlatformSpec
+
+#: SGI Altix "Ram" at ORNL: NUMAlink interconnect + XFS.
+ORNL_ALTIX = PlatformSpec(
+    name="ornl-altix-ram",
+    network=NetworkModel(
+        latency=3e-6,
+        bandwidth=1.2e9,
+        overhead=1e-6,
+        eager_threshold=64 * 1024,
+    ),
+    shared_fs_kind="parallel",
+    shared_fs_capacity=1.6e9,
+    shared_fs_per_stream=350e6,
+    shared_fs_op_overhead=3e-4,
+    local_disks=False,  # no user-writable local storage on Ram
+    cpu_speed=1.0,
+)
+
+#: NCSU IBM Blade Center: gigabit ethernet + NFS + per-blade disks.
+NCSU_BLADE = PlatformSpec(
+    name="ncsu-blade",
+    network=NetworkModel(
+        latency=5e-5,
+        bandwidth=110e6,
+        overhead=5e-6,
+        eager_threshold=64 * 1024,
+    ),
+    shared_fs_kind="nfs",
+    shared_fs_capacity=3.2e7,
+    shared_fs_per_stream=2.8e7,
+    shared_fs_op_overhead=2.5e-3,
+    local_disks=True,
+    local_disk_capacity=4.5e7,
+    local_disk_op_overhead=6e-3,
+    cpu_speed=1.25,  # 2.8-3.0 GHz Xeon vs 1.5 GHz Itanium2 on this kernel
+)
+
+PLATFORMS = {
+    "altix": ORNL_ALTIX,
+    "blade": NCSU_BLADE,
+}

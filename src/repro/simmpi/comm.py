@@ -1,0 +1,428 @@
+"""mpi4py-flavoured communicator on top of the simulation engine.
+
+Point-to-point semantics follow MPI: non-overtaking per (source, dest,
+tag), wildcard ``ANY_SOURCE`` / ``ANY_TAG`` receives, eager vs rendezvous
+sends per the network model.  Collectives (bcast, gather/gatherv,
+scatter/scatterv, allgather, reduce, allreduce, barrier, alltoall) are
+implemented *on top of* the point-to-point layer with binomial-tree
+algorithms, so their timing emerges from the same message model the rest
+of the system uses.
+
+Payloads are passed by reference (all simulated ranks share one address
+space).  Programs must treat received objects as immutable — exactly the
+discipline real MPI enforces by copying.  ``bytes`` payloads, which is
+what the BLAST layers ship, are immutable anyway.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from functools import reduce as _functools_reduce
+from typing import Any, Callable
+
+from repro.simmpi.engine import Engine, Parker, SimError
+from repro.simmpi.network import NetworkModel, payload_nbytes
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+# Tags below this value are reserved for internal collective traffic.
+_COLL_TAG_BASE = -1_000_000
+
+
+@dataclass
+class Status:
+    """Filled in by ``recv``/``probe`` with message envelope details."""
+
+    source: int = -1
+    tag: int = -1
+    nbytes: int = 0
+
+
+@dataclass(order=True)
+class _Message:
+    arrival_seq: int
+    source: int = field(compare=False)
+    tag: int = field(compare=False)
+    payload: Any = field(compare=False)
+    nbytes: int = field(compare=False)
+    sender_parker: Parker | None = field(compare=False, default=None)
+
+
+@dataclass
+class _PendingRecv:
+    post_seq: int
+    source: int
+    tag: int
+    parker: Parker
+    consume: bool  # False for probe
+
+
+class Request:
+    """Handle for a non-blocking operation."""
+
+    def __init__(self, wait_fn: Callable[[], Any]):
+        self._wait_fn = wait_fn
+        self._done = False
+        self._value: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._wait_fn()
+            self._done = True
+        return self._value
+
+
+class _Endpoint:
+    """Per-rank message queues."""
+
+    def __init__(self) -> None:
+        self.queued: list[_Message] = []
+        self.pending: list[_PendingRecv] = []
+
+
+def _matches(msg: _Message, source: int, tag: int) -> bool:
+    return (source in (ANY_SOURCE, msg.source)) and (tag in (ANY_TAG, msg.tag))
+
+
+class Communicator:
+    """An MPI communicator over ``size`` simulated ranks."""
+
+    def __init__(self, engine: Engine, size: int, network: NetworkModel):
+        self.engine = engine
+        self.size = size
+        self.network = network
+        self._endpoints = [_Endpoint() for _ in range(size)]
+        self._arrival_seq = 0
+        self._post_seq = 0
+        # MPI non-overtaking: per (source, dest) channel, messages are
+        # matched in send order, so a later (smaller/faster) message must
+        # never be delivered before an earlier one.
+        self._last_arrival: dict[tuple[int, int], float] = {}
+        # Per-rank counter assigning a unique internal tag to each
+        # collective call site (all ranks must call collectives in the
+        # same order, as in MPI).
+        self._coll_seq = [0] * size
+        # statistics
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # rank identity
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.engine.current_rank()
+
+    def _check_rank(self, r: int, what: str) -> None:
+        if not (0 <= r < self.size):
+            raise SimError(f"{what} rank {r} out of range (size={self.size})")
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0, nbytes: int | None = None) -> None:
+        """Blocking send (eager below the threshold, rendezvous above)."""
+        self._check_rank(dest, "dest")
+        if tag < 0:
+            raise SimError("user tags must be non-negative")
+        self._send_internal(obj, dest, tag, nbytes)
+
+    def _send_internal(
+        self, obj: Any, dest: int, tag: int, nbytes: int | None = None
+    ) -> None:
+        size = payload_nbytes(obj) if nbytes is None else int(nbytes)
+        net = self.network
+        self.messages_sent += 1
+        self.bytes_sent += size
+        # Sender-side software overhead.
+        self.engine.sleep(net.overhead)
+        arrival = self.engine.now + net.delivery_time(size)
+        if net.is_eager(size):
+            self._deliver_at(arrival, self.rank, dest, tag, obj, size, None)
+        else:
+            # Rendezvous: sender stays busy until the payload drains.
+            done = self.engine.make_parker()
+            self._deliver_at(arrival, self.rank, dest, tag, obj, size, done)
+            self.engine.park(done)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0, nbytes: int | None = None) -> Request:
+        """Non-blocking send (always buffered/eager in this model)."""
+        self._check_rank(dest, "dest")
+        if tag < 0:
+            raise SimError("user tags must be non-negative")
+        size = payload_nbytes(obj) if nbytes is None else int(nbytes)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.engine.sleep(self.network.overhead)
+        arrival = self.engine.now + self.network.delivery_time(size)
+        self._deliver_at(arrival, self.rank, dest, tag, obj, size, None)
+        return Request(lambda: None)
+
+    def _deliver_at(
+        self,
+        t: float,
+        source: int,
+        dest: int,
+        tag: int,
+        payload: Any,
+        nbytes: int,
+        sender_parker: Parker | None,
+    ) -> None:
+        chan = (source, dest)
+        t = max(t, self._last_arrival.get(chan, 0.0))
+        self._last_arrival[chan] = t
+
+        def deliver() -> None:
+            self._arrival_seq += 1
+            msg = _Message(self._arrival_seq, source, tag, payload, nbytes,
+                           sender_parker)
+            ep = self._endpoints[dest]
+            # Wake the earliest-posted matching pending receive, if any.
+            for i, pr in enumerate(ep.pending):
+                if _matches(msg, pr.source, pr.tag):
+                    if pr.consume:
+                        del ep.pending[i]
+                        self._complete_rendezvous(msg)
+                        self.engine.unpark_at(pr.parker, self.engine.now, msg)
+                    else:
+                        # probe: leave the message queued, wake the prober
+                        del ep.pending[i]
+                        ep.queued.append(msg)
+                        self.engine.unpark_at(pr.parker, self.engine.now, msg)
+                    return
+            ep.queued.append(msg)
+
+        self.engine.schedule(t, deliver)
+
+    def _complete_rendezvous(self, msg: _Message) -> None:
+        if msg.sender_parker is not None:
+            self.engine.unpark_at(msg.sender_parker, self.engine.now)
+            msg.sender_parker = None
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Status | None = None,
+    ) -> Any:
+        """Blocking receive; returns the payload."""
+        msg = self._wait_message(source, tag, consume=True)
+        # Receiver-side software overhead.
+        self.engine.sleep(self.network.overhead)
+        if status is not None:
+            status.source, status.tag, status.nbytes = msg.source, msg.tag, msg.nbytes
+        return msg.payload
+
+    def irecv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Request:
+        """Non-blocking receive; ``wait()`` returns the payload."""
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        ep = self._endpoints[self.rank]
+        msg = self._match_queued(ep, source, tag, consume=True)
+        if msg is not None:
+            self._complete_rendezvous(msg)
+            return Request(lambda: msg.payload)
+        self._post_seq += 1
+        parker = self.engine.make_parker()
+        ep.pending.append(
+            _PendingRecv(self._post_seq, source, tag, parker, consume=True)
+        )
+
+        def waiter() -> Any:
+            got: _Message = self.engine.park(parker)
+            self.engine.sleep(self.network.overhead)
+            return got.payload
+
+        return Request(waiter)
+
+    def probe(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Status | None = None,
+    ) -> Status:
+        """Block until a matching message is available without consuming."""
+        msg = self._wait_message(source, tag, consume=False)
+        st = status if status is not None else Status()
+        st.source, st.tag, st.nbytes = msg.source, msg.tag, msg.nbytes
+        return st
+
+    def _match_queued(
+        self, ep: _Endpoint, source: int, tag: int, consume: bool
+    ) -> _Message | None:
+        best_i = -1
+        for i, msg in enumerate(ep.queued):
+            if _matches(msg, source, tag):
+                best_i = i
+                break
+        if best_i < 0:
+            return None
+        msg = ep.queued[best_i]
+        if consume:
+            del ep.queued[best_i]
+        return msg
+
+    def _wait_message(self, source: int, tag: int, consume: bool) -> _Message:
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        ep = self._endpoints[self.rank]
+        msg = self._match_queued(ep, source, tag, consume)
+        if msg is not None:
+            if consume:
+                self._complete_rendezvous(msg)
+            return msg
+        self._post_seq += 1
+        parker = self.engine.make_parker()
+        ep.pending.append(
+            _PendingRecv(self._post_seq, source, tag, parker, consume)
+        )
+        return self.engine.park(parker)
+
+    # ------------------------------------------------------------------
+    # collectives (binomial-tree over point-to-point)
+    # ------------------------------------------------------------------
+    def _coll_tag(self) -> int:
+        r = self.rank
+        tag = _COLL_TAG_BASE - self._coll_seq[r]
+        self._coll_seq[r] += 1
+        return tag
+
+    def _sendc(self, obj: Any, dest: int, tag: int) -> None:
+        self._send_internal(obj, dest, tag)
+
+    def _recvc(self, source: int, tag: int) -> Any:
+        msg = self._wait_message(source, tag, consume=True)
+        self.engine.sleep(self.network.overhead)
+        return msg.payload
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Binomial-tree broadcast; returns the object on every rank."""
+        self._check_rank(root, "root")
+        tag = self._coll_tag()
+        size, me = self.size, self.rank
+        rel = (me - root) % size
+        # Standard binomial tree: climb mask until this rank's lowest set
+        # bit, receiving from the parent there; then fan out to children
+        # at every lower bit position.
+        mask = 1
+        while mask < size:
+            if rel & mask:
+                parent = (rel - mask + root) % size
+                obj = self._recvc(parent, tag)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < size:
+                child = (rel + mask + root) % size
+                self._sendc(obj, child, tag)
+            mask >>= 1
+        return obj
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank to ``root`` (list indexed by rank)."""
+        self._check_rank(root, "root")
+        tag = self._coll_tag()
+        size, me = self.size, self.rank
+        rel = (me - root) % size
+        # Binomial-tree gather: collect from children, forward to parent.
+        mine: dict[int, Any] = {me: obj}
+        mask = 1
+        while mask < size:
+            if rel & mask:
+                parent = (rel - mask + root) % size
+                self._sendc(mine, parent, tag)
+                break
+            child_rel = rel + mask
+            if child_rel < size:
+                child = (child_rel + root) % size
+                got: dict[int, Any] = self._recvc(child, tag)
+                mine.update(got)
+            mask <<= 1
+        if me == root:
+            return [mine[r] for r in range(size)]
+        return None
+
+    def gatherv(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Flat gather (each rank sends directly to root).
+
+        Matches MPI_Gatherv usage for large, uneven payloads where tree
+        forwarding would double-transfer the data.
+        """
+        self._check_rank(root, "root")
+        tag = self._coll_tag()
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for _ in range(self.size - 1):
+                st = Status()
+                payload = self.recv_internal(ANY_SOURCE, tag, st)
+                out[st.source] = payload
+            return out
+        self._sendc(obj, root, tag)
+        return None
+
+    def recv_internal(self, source: int, tag: int, status: Status) -> Any:
+        msg = self._wait_message(source, tag, consume=True)
+        self.engine.sleep(self.network.overhead)
+        status.source, status.tag, status.nbytes = msg.source, msg.tag, msg.nbytes
+        return msg.payload
+
+    def scatter(self, objs: list[Any] | None, root: int = 0) -> Any:
+        """Scatter a list of ``size`` items from root; returns this rank's."""
+        self._check_rank(root, "root")
+        tag = self._coll_tag()
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise SimError("scatter needs one item per rank at root")
+            for r in range(self.size):
+                if r != root:
+                    self._sendc(objs[r], r, tag)
+            return objs[root]
+        return self._recvc(root, tag)
+
+    scatterv = scatter
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather to rank 0 then broadcast (tree both ways)."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(
+        self, obj: Any, op: Callable[[Any, Any], Any] = operator.add, root: int = 0
+    ) -> Any | None:
+        """Tree reduction with operator ``op``; result only at root."""
+        gathered = self.gather(obj, root=root)
+        if self.rank == root:
+            return _functools_reduce(op, gathered)
+        return None
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = operator.add) -> Any:
+        res = self.reduce(obj, op=op, root=0)
+        return self.bcast(res, root=0)
+
+    def alltoall(self, objs: list[Any]) -> list[Any]:
+        """Each rank sends ``objs[r]`` to rank r; returns received list."""
+        if len(objs) != self.size:
+            raise SimError("alltoall needs one item per rank")
+        tag = self._coll_tag()
+        me = self.rank
+        out: list[Any] = [None] * self.size
+        out[me] = objs[me]
+        for r in range(self.size):
+            if r != me:
+                self._sendc(objs[r], r, tag)
+        for _ in range(self.size - 1):
+            st = Status()
+            payload = self.recv_internal(ANY_SOURCE, tag, st)
+            out[st.source] = payload
+        return out
+
+    def barrier(self) -> None:
+        """Tree gather + broadcast barrier."""
+        self.gather(None, root=0)
+        self.bcast(None, root=0)

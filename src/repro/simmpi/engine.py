@@ -1,0 +1,260 @@
+"""Discrete-event engine with cooperative rank threads.
+
+The engine owns a virtual clock and an event queue.  Simulated processes
+(ranks) run on real Python threads, but the engine enforces that *exactly
+one* thread is runnable at any instant: a rank runs until it blocks on a
+simulated operation (a timed wait, a message receive, a bandwidth
+transfer, ...), at which point control returns to the scheduler, which
+pops the next event in ``(time, sequence)`` order and wakes the owning
+thread.  Because wake order is a deterministic function of the event
+queue, whole simulations are bit-reproducible.
+
+The single blocking primitive is the *parker*:
+
+``park(parker)``
+    block the calling rank until the parker is woken; returns the value
+    delivered by the waker.  If the parker was already woken (the wake
+    event fired while the rank was busy elsewhere), ``park`` returns
+    immediately — this is what lets upper layers pre-post receives.
+
+``unpark_at(parker, t, value)``
+    schedule the wake of a parker at virtual time ``t``.  Callable from
+    any rank thread or from a scheduled action.
+
+``sleep(dt)`` is simply a fresh parker with a self-scheduled wake, and is
+how modelled compute time and fixed-latency hops are charged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+class SimError(RuntimeError):
+    """Raised for misuse of the simulator (deadlock, bad rank, ...)."""
+
+
+class ProcessFailure(SimError):
+    """A rank program raised; carries the original traceback text."""
+
+    def __init__(self, rank: int, exc: BaseException, tb: str):
+        super().__init__(f"rank {rank} failed: {exc!r}\n{tb}")
+        self.rank = rank
+        self.original = exc
+        self.tb = tb
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class _RankThread:
+    """Bookkeeping for one simulated process."""
+
+    __slots__ = ("rank", "thread", "cv", "state", "waiting_on", "exc")
+
+    def __init__(self, rank: int, cv: threading.Condition):
+        self.rank = rank
+        self.thread: threading.Thread | None = None
+        self.cv = cv
+        # 'new' -> 'running' <-> 'blocked' -> 'done'
+        self.state = "new"
+        self.waiting_on: "Parker | None" = None
+        self.exc: ProcessFailure | None = None
+
+
+class Parker:
+    """A one-shot parking slot owned by one rank thread."""
+
+    __slots__ = ("owner", "woken", "value")
+
+    def __init__(self, owner: _RankThread):
+        self.owner = owner
+        self.woken = False
+        self.value: Any = None
+
+
+class Engine:
+    """Virtual-clock scheduler for cooperative rank threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._sched_cv = threading.Condition(self._lock)
+        self.now: float = 0.0
+        self._queue: list[_Event] = []
+        self._seq = 0
+        self._ranks: list[_RankThread] = []
+        self._started = False
+        self._failures: list[ProcessFailure] = []
+        self._tls = threading.local()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def spawn(self, fn: Callable[[], None], rank: int) -> None:
+        """Register ``fn`` as the program for ``rank`` (starts at t=0)."""
+        if self._started:
+            raise SimError("cannot spawn after run() started")
+        rt = _RankThread(rank, threading.Condition(self._lock))
+
+        def body() -> None:
+            self._tls.rank_thread = rt
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                rt.exc = ProcessFailure(rank, exc, traceback.format_exc())
+            finally:
+                with self._lock:
+                    rt.state = "done"
+                    if rt.exc is not None:
+                        self._failures.append(rt.exc)
+                    self._sched_cv.notify()
+
+        rt.thread = threading.Thread(
+            target=body, name=f"simrank-{rank}", daemon=True
+        )
+        self._ranks.append(rt)
+
+    # ------------------------------------------------------------------
+    # event queue
+    # ------------------------------------------------------------------
+    def schedule(self, t: float, action: Callable[[], None]) -> _Event:
+        """Schedule ``action`` to run on the scheduler thread at time ``t``.
+
+        Actions run with the engine lock held and must not block.
+        """
+        with self._lock:
+            if t < self.now - 1e-12:
+                raise SimError(f"cannot schedule in the past ({t} < {self.now})")
+            ev = _Event(max(t, self.now), self._seq, action)
+            self._seq += 1
+            heapq.heappush(self._queue, ev)
+            return ev
+
+    def cancel(self, ev: _Event) -> None:
+        ev.cancelled = True
+
+    # ------------------------------------------------------------------
+    # blocking primitives (called from rank threads)
+    # ------------------------------------------------------------------
+    def _me(self) -> _RankThread:
+        rt = getattr(self._tls, "rank_thread", None)
+        if rt is None:
+            raise SimError("blocking primitive called outside a rank thread")
+        return rt
+
+    def make_parker(self) -> Parker:
+        """Create a parking slot owned by the calling rank thread."""
+        return Parker(self._me())
+
+    def park(self, parker: Parker) -> Any:
+        """Block on ``parker`` until it is woken; returns the wake value."""
+        rt = self._me()
+        if parker.owner is not rt:
+            raise SimError("cannot park on another thread's parker")
+        with self._lock:
+            if not parker.woken:
+                rt.waiting_on = parker
+                rt.state = "blocked"
+                self._sched_cv.notify()
+                while rt.state != "running":
+                    rt.cv.wait()
+                rt.waiting_on = None
+            if not parker.woken:
+                raise SimError("spurious wakeup without unpark")
+            return parker.value
+
+    def sleep(self, dt: float) -> None:
+        """Advance this rank's virtual time by ``dt`` seconds."""
+        if dt < 0:
+            raise SimError(f"negative sleep: {dt}")
+        self.sleep_until(self.now + dt)
+
+    def sleep_until(self, t: float) -> None:
+        p = self.make_parker()
+        self.unpark_at(p, t)
+        self.park(p)
+
+    def unpark_at(self, parker: Parker, t: float, value: Any = None) -> None:
+        """Schedule the wake of ``parker`` at virtual time ``t``."""
+
+        def wake() -> None:
+            if parker.woken:
+                raise SimError("parker woken twice")
+            parker.woken = True
+            parker.value = value
+            owner = parker.owner
+            if owner.waiting_on is parker:
+                self._run_thread(owner)
+            # else: the value is stored; the owner will pick it up when it
+            # parks on this parker (pre-posted receive semantics).
+
+        self.schedule(t, wake)
+
+    # ------------------------------------------------------------------
+    # scheduler
+    # ------------------------------------------------------------------
+    def _run_thread(self, rt: _RankThread) -> None:
+        """(scheduler thread, lock held) hand control to ``rt`` and wait."""
+        if rt.state == "done":
+            raise SimError(f"waking finished rank {rt.rank}")
+        rt.state = "running"
+        if not rt.thread.is_alive():  # first activation
+            rt.thread.start()
+        else:
+            rt.cv.notify()
+        while rt.state == "running":
+            self._sched_cv.wait()
+
+    def run(self) -> float:
+        """Run the simulation to completion; returns final virtual time."""
+        if self._started:
+            raise SimError("engine already ran")
+        self._started = True
+        with self._lock:
+            for rt in self._ranks:
+                ev = _Event(0.0, self._seq, lambda rt=rt: self._run_thread(rt))
+                self._seq += 1
+                heapq.heappush(self._queue, ev)
+            while self._queue:
+                ev = heapq.heappop(self._queue)
+                if ev.cancelled:
+                    continue
+                if ev.time < self.now - 1e-9:
+                    raise SimError("time went backwards")
+                self.now = max(self.now, ev.time)
+                ev.action()
+                if self._failures:
+                    raise self._failures[0]
+            blocked = [rt.rank for rt in self._ranks if rt.state == "blocked"]
+            if blocked:
+                raise SimError(
+                    f"deadlock: ranks {blocked} blocked with empty event queue"
+                )
+        return self.now
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def nranks(self) -> int:
+        return len(self._ranks)
+
+    def current_rank(self) -> int:
+        return self._me().rank
+
+
+def run_simulation(programs: Iterable[Callable[[], None]]) -> float:
+    """Convenience: run one closure per rank to completion."""
+    eng = Engine()
+    for i, fn in enumerate(programs):
+        eng.spawn(fn, i)
+    return eng.run()

@@ -1,0 +1,221 @@
+"""Filesystem models holding real bytes.
+
+A :class:`FileStore` is the pure data layer — a dict of path → bytearray
+with offset reads/writes.  Programs always get back exactly the bytes
+they (or another rank) wrote, which is what lets the parallel BLAST
+drivers produce genuinely correct output files through the simulator.
+
+A :class:`FilesystemModel` pairs a store with a timing model: a
+processor-sharing bandwidth pipe plus a fixed per-operation overhead
+(metadata/seek/RPC).  Three concrete models cover the paper's platforms:
+
+- :class:`ParallelFS` — XFS-on-Altix-like: high aggregate bandwidth that
+  several concurrent streams are needed to saturate, cheap metadata.
+- :class:`NFSFilesystem` — a single-server bottleneck: low aggregate
+  bandwidth shared by all clients and expensive per-operation RPCs.  This
+  is what degrades pioBLAST's input stage on the NCSU blade cluster
+  (paper Fig. 4) and cripples mpiBLAST's fragment copies.
+- :class:`LocalDisk` — a private per-node disk (mpiBLAST's fragment copy
+  target when available).
+"""
+
+from __future__ import annotations
+
+from repro.simmpi.engine import Engine, SimError
+from repro.simmpi.resource import SharedBandwidth
+
+
+class FileStore:
+    """Byte-accurate file namespace (no timing)."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, bytearray] = {}
+
+    def create(self, path: str) -> None:
+        self._files.setdefault(path, bytearray())
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def listdir(self, prefix: str = "") -> list[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def size(self, path: str) -> int:
+        return len(self._file(path))
+
+    def delete(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def _file(self, path: str) -> bytearray:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def write(self, path: str, offset: int, data: bytes) -> None:
+        if offset < 0:
+            raise SimError(f"negative offset writing {path}")
+        buf = self._files.setdefault(path, bytearray())
+        end = offset + len(data)
+        if end > len(buf):
+            buf.extend(b"\x00" * (end - len(buf)))
+        buf[offset:end] = data
+
+    def append(self, path: str, data: bytes) -> int:
+        """Append; returns the offset the data landed at."""
+        buf = self._files.setdefault(path, bytearray())
+        off = len(buf)
+        buf.extend(data)
+        return off
+
+    def read(self, path: str, offset: int = 0, size: int | None = None) -> bytes:
+        buf = self._file(path)
+        if size is None:
+            size = len(buf) - offset
+        if offset < 0 or offset + size > len(buf):
+            raise SimError(
+                f"read [{offset}, {offset + size}) out of bounds for "
+                f"{path} (len {len(buf)})"
+            )
+        return bytes(buf[offset : offset + size])
+
+    def read_all(self, path: str) -> bytes:
+        return bytes(self._file(path))
+
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self._files.values())
+
+
+class FilesystemModel:
+    """Store + timing: per-op overhead and a fair-share bandwidth pipe."""
+
+    kind = "generic"
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        capacity: float,
+        per_stream: float | None = None,
+        op_overhead: float = 1e-4,
+        name: str = "fs",
+        store: FileStore | None = None,
+    ) -> None:
+        self.engine = engine
+        self.store = store if store is not None else FileStore()
+        self.pipe = SharedBandwidth(engine, capacity, per_stream, name=name)
+        self.op_overhead = op_overhead
+        self.name = name
+        self.read_ops = 0
+        self.write_ops = 0
+
+    # -- timed operations ------------------------------------------------
+    # ``charge_bytes`` overrides the byte count used for *timing* (the
+    # data moved is always the real bytes).  The cost model uses it to
+    # charge scaled-up workloads at paper scale; see repro.costmodel.
+    def read(self, path: str, offset: int = 0, size: int | None = None,
+             *, charge_bytes: int | None = None) -> bytes:
+        data = self.store.read(path, offset, size)
+        self.read_ops += 1
+        self.engine.sleep(self.op_overhead)
+        self.pipe.transfer(len(data) if charge_bytes is None else charge_bytes)
+        return data
+
+    def write(self, path: str, offset: int, data: bytes,
+              *, charge_bytes: int | None = None) -> None:
+        self.write_ops += 1
+        self.engine.sleep(self.op_overhead)
+        self.pipe.transfer(len(data) if charge_bytes is None else charge_bytes)
+        self.store.write(path, offset, data)
+
+    def append(self, path: str, data: bytes,
+               *, charge_bytes: int | None = None) -> int:
+        self.write_ops += 1
+        self.engine.sleep(self.op_overhead)
+        self.pipe.transfer(len(data) if charge_bytes is None else charge_bytes)
+        return self.store.append(path, data)
+
+    # -- untimed metadata (cheap enough to ignore) ------------------------
+    def exists(self, path: str) -> bool:
+        return self.store.exists(path)
+
+    def size(self, path: str) -> int:
+        return self.store.size(path)
+
+    def listdir(self, prefix: str = "") -> list[str]:
+        return self.store.listdir(prefix)
+
+    def delete(self, path: str) -> None:
+        self.store.delete(path)
+
+
+class ParallelFS(FilesystemModel):
+    """Striped parallel filesystem (XFS on the ORNL Altix in the paper)."""
+
+    kind = "parallel"
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        capacity: float = 2e9,
+        per_stream: float = 400e6,
+        op_overhead: float = 2e-4,
+        name: str = "xfs",
+        store: FileStore | None = None,
+    ) -> None:
+        super().__init__(
+            engine,
+            capacity=capacity,
+            per_stream=per_stream,
+            op_overhead=op_overhead,
+            name=name,
+            store=store,
+        )
+
+
+class NFSFilesystem(FilesystemModel):
+    """Single-server NFS: low shared bandwidth, costly per-op RPC."""
+
+    kind = "nfs"
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        capacity: float = 6e7,
+        per_stream: float | None = None,
+        op_overhead: float = 4e-3,
+        name: str = "nfs",
+        store: FileStore | None = None,
+    ) -> None:
+        super().__init__(
+            engine,
+            capacity=capacity,
+            per_stream=per_stream,
+            op_overhead=op_overhead,
+            name=name,
+            store=store,
+        )
+
+
+class LocalDisk(FilesystemModel):
+    """A private per-node disk."""
+
+    kind = "local"
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        capacity: float = 5e7,
+        op_overhead: float = 5e-3,
+        name: str = "disk",
+    ) -> None:
+        super().__init__(
+            engine,
+            capacity=capacity,
+            per_stream=capacity,
+            op_overhead=op_overhead,
+            name=name,
+        )

@@ -1,0 +1,145 @@
+"""MPI-IO style file access: individual reads/writes, file views, and
+two-phase collective writes.
+
+pioBLAST's two MPI-IO uses are modelled here:
+
+- **parallel input** — each worker issues an *individual* ``read_at`` for
+  its byte range of the global database files (paper §5 notes natural
+  partitioning reads one contiguous range per worker, so individual I/O
+  suffices);
+- **parallel output** — each worker defines a *file view* over the
+  noncontiguous alignment-record regions the master assigned to it, then
+  all ranks call ``write_at_all`` once.  The model charges the two-phase
+  redistribution (a logarithmic synchronization plus each rank's data
+  crossing the network once) and then streams the aggregated data through
+  the filesystem pipe as a few large sequential writes — which is exactly
+  why collective I/O beats the master's many small serial writes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.simmpi.comm import Communicator
+from repro.simmpi.engine import SimError
+from repro.simmpi.filesystem import FilesystemModel
+
+
+@dataclass
+class FileView:
+    """Noncontiguous regions of a shared file visible to one rank."""
+
+    regions: list[tuple[int, int]] = field(default_factory=list)  # (offset, nbytes)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(n for _, n in self.regions)
+
+    def validate(self) -> None:
+        for off, n in self.regions:
+            if off < 0 or n < 0:
+                raise SimError(f"bad view region ({off}, {n})")
+
+
+class MPIFile:
+    """A shared-file handle opened collectively on a communicator."""
+
+    def __init__(self, comm: Communicator, fs: FilesystemModel, path: str):
+        self.comm = comm
+        self.fs = fs
+        self.path = path
+        self._view: FileView | None = None
+
+    # ------------------------------------------------------------------
+    # individual I/O
+    # ------------------------------------------------------------------
+    def read_at(self, offset: int, size: int,
+                *, charge_bytes: int | None = None) -> bytes:
+        """Individual read of ``size`` bytes at ``offset``."""
+        return self.fs.read(self.path, offset, size, charge_bytes=charge_bytes)
+
+    def write_at(self, offset: int, data: bytes,
+                 *, charge_bytes: int | None = None) -> None:
+        """Individual write at ``offset``."""
+        self.fs.write(self.path, offset, data, charge_bytes=charge_bytes)
+
+    # ------------------------------------------------------------------
+    # file views + collective I/O
+    # ------------------------------------------------------------------
+    def set_view(self, view: FileView) -> None:
+        """Define this rank's visible regions (collective in spirit;
+        each rank sets its own)."""
+        view.validate()
+        self._view = view
+
+    def write_at_all(self, buffers: list[bytes],
+                     *, data_scale: float = 1.0) -> None:
+        """Collective write: every rank writes its buffers into its view.
+
+        ``buffers[i]`` must be exactly the size of ``view.regions[i]``.
+        All ranks of the communicator must call this; none returns until
+        the slowest has finished (MPI collective semantics).
+        ``data_scale`` multiplies the byte volume used for timing.
+        """
+        view = self._view if self._view is not None else FileView()
+        if len(buffers) != len(view.regions):
+            raise SimError(
+                f"write_at_all: {len(buffers)} buffers for "
+                f"{len(view.regions)} view regions"
+            )
+        for buf, (off, n) in zip(buffers, view.regions):
+            if len(buf) != n:
+                raise SimError(
+                    f"write_at_all: buffer of {len(buf)} bytes for a "
+                    f"region of {n} bytes at offset {off}"
+                )
+
+        comm, eng = self.comm, self.fs.engine
+        my_bytes = int(view.total_bytes * data_scale)
+
+        # Phase 0: collective entry (small control messages).
+        comm.barrier()
+
+        # Phase 1: two-phase shuffle — each rank's data crosses the
+        # network once to its aggregator, concurrently across ranks.
+        net = comm.network
+        shuffle = net.latency * max(1, math.ceil(math.log2(max(comm.size, 2))))
+        shuffle += my_bytes / net.bandwidth
+        eng.sleep(shuffle)
+
+        # Phase 2: data placement (byte-accurate) + aggregated streaming.
+        # Each rank's regions are coalesced into one large sequential
+        # stream through the filesystem pipe: one op overhead, full
+        # transfer size, concurrent with the other aggregators.
+        for buf, (off, _n) in zip(buffers, view.regions):
+            self.fs.store.write(self.path, off, buf)
+        self.fs.write_ops += 1
+        eng.sleep(self.fs.op_overhead)
+        self.fs.pipe.transfer(my_bytes)
+
+        # Phase 3: collective exit.
+        comm.barrier()
+
+    def read_at_all(self, view: FileView | None = None) -> list[bytes]:
+        """Collective read of each rank's view regions."""
+        v = view if view is not None else (self._view or FileView())
+        v.validate()
+        comm, eng = self.comm, self.fs.engine
+        comm.barrier()
+        my_bytes = v.total_bytes
+        net = comm.network
+        shuffle = net.latency * max(1, math.ceil(math.log2(max(comm.size, 2))))
+        shuffle += my_bytes / net.bandwidth
+        out: list[bytes] = []
+        self.fs.read_ops += 1
+        eng.sleep(self.fs.op_overhead)
+        self.fs.pipe.transfer(my_bytes)
+        for off, n in v.regions:
+            out.append(self.fs.store.read(self.path, off, n))
+        eng.sleep(shuffle)
+        comm.barrier()
+        return out
+
+    def size(self) -> int:
+        return self.fs.size(self.path)

@@ -1,0 +1,141 @@
+"""Processor-sharing bandwidth resources.
+
+A :class:`SharedBandwidth` models a contended pipe — a filesystem server,
+a storage array, a NIC.  Concurrent transfers share the aggregate
+capacity fairly, each additionally capped by a per-stream limit (a single
+client cannot saturate a striped parallel filesystem on its own).  Rates
+are recomputed whenever a transfer starts or finishes, which is the exact
+fluid processor-sharing model used by network/storage simulators.
+
+Transfers carry real byte counts; the completion times produced are the
+only effect (no data moves here — data lives in the filesystem layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.simmpi.engine import Engine, Parker, SimError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.engine import _Event
+
+_EPS = 1e-9
+
+
+@dataclass
+class _Transfer:
+    parker: Parker
+    remaining: float  # bytes still to move
+    rate: float = 0.0  # bytes/sec currently granted
+
+
+class SharedBandwidth:
+    """A fair-share pipe with aggregate and per-stream bandwidth caps.
+
+    Parameters
+    ----------
+    engine:
+        The owning simulation engine.
+    capacity:
+        Aggregate bytes/second across all concurrent transfers.
+    per_stream:
+        Bytes/second ceiling for any single transfer.  ``None`` means a
+        single stream may use the full capacity.
+    name:
+        For error messages and traces.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity: float,
+        per_stream: float | None = None,
+        name: str = "pipe",
+    ) -> None:
+        if capacity <= 0:
+            raise SimError(f"{name}: capacity must be positive")
+        if per_stream is not None and per_stream <= 0:
+            raise SimError(f"{name}: per_stream must be positive")
+        self.engine = engine
+        self.capacity = float(capacity)
+        self.per_stream = float(per_stream) if per_stream else float(capacity)
+        self.name = name
+        self._active: list[_Transfer] = []
+        self._last_update = 0.0
+        self._completion_event: "_Event | None" = None
+        # statistics
+        self.total_bytes = 0.0
+        self.total_transfers = 0
+
+    # ------------------------------------------------------------------
+    def transfer(self, nbytes: float) -> None:
+        """Move ``nbytes`` through the pipe; blocks for the modelled time."""
+        if nbytes < 0:
+            raise SimError(f"{self.name}: negative transfer")
+        self.total_transfers += 1
+        self.total_bytes += nbytes
+        if nbytes == 0:
+            return
+        parker = self.engine.make_parker()
+        tr = _Transfer(parker, float(nbytes))
+        self._settle()
+        self._active.append(tr)
+        self._reschedule()
+        self.engine.park(parker)
+
+    def duration_alone(self, nbytes: float) -> float:
+        """Time ``nbytes`` would take with no contention (for models)."""
+        return nbytes / min(self.per_stream, self.capacity)
+
+    @property
+    def active_streams(self) -> int:
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    def _settle(self) -> None:
+        """Charge progress at current rates for the elapsed interval."""
+        now = self.engine.now
+        dt = now - self._last_update
+        if dt > 0:
+            for tr in self._active:
+                tr.remaining -= tr.rate * dt
+        self._last_update = now
+
+    def _grant_rates(self) -> None:
+        n = len(self._active)
+        if n == 0:
+            return
+        fair = self.capacity / n
+        rate = min(fair, self.per_stream)
+        for tr in self._active:
+            tr.rate = rate
+        # Per-stream cap may leave spare aggregate capacity; with uniform
+        # caps no redistribution is needed (all streams hit the same cap).
+
+    def _reschedule(self) -> None:
+        """Recompute rates and schedule the next completion."""
+        if self._completion_event is not None:
+            self.engine.cancel(self._completion_event)
+            self._completion_event = None
+        if not self._active:
+            return
+        self._grant_rates()
+        soonest = min(tr.remaining / tr.rate for tr in self._active)
+        t = self.engine.now + max(soonest, 0.0)
+        self._completion_event = self.engine.schedule(t, self._complete)
+
+    def _complete(self) -> None:
+        """Scheduler action: finish every transfer that has drained."""
+        self._completion_event = None
+        self._settle()
+        done = [tr for tr in self._active if tr.remaining <= _EPS * self.capacity]
+        if not done:
+            # Numerical slack; try again with fresh rates.
+            self._reschedule()
+            return
+        self._active = [tr for tr in self._active if tr not in done]
+        self._reschedule()
+        for tr in done:
+            self.engine.unpark_at(tr.parker, self.engine.now)

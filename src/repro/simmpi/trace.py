@@ -1,0 +1,103 @@
+"""Phase accounting and timelines on the virtual clock.
+
+The paper reports time decomposed into phases (copy/input, search,
+merge/output, other — Table 1 and every figure).  A
+:class:`PhaseRecorder` accumulates virtual seconds per named phase per
+rank via a context manager; the launcher aggregates these into the run
+result the experiment harnesses consume.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.simmpi.engine import Engine
+
+
+@dataclass
+class Span:
+    rank: int
+    phase: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Flat record of every phase span in a run (for debugging/plots)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def add(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def for_rank(self, rank: int) -> list[Span]:
+        return [s for s in self.spans if s.rank == rank]
+
+    def for_phase(self, phase: str) -> list[Span]:
+        return [s for s in self.spans if s.phase == phase]
+
+
+class PhaseRecorder:
+    """Per-rank accumulation of virtual time by phase name."""
+
+    def __init__(self, engine: Engine, nranks: int, timeline: Timeline | None = None):
+        self.engine = engine
+        self.nranks = nranks
+        self.timeline = timeline
+        self._acc: list[dict[str, float]] = [dict() for _ in range(nranks)]
+        self._stack: list[list[str]] = [[] for _ in range(nranks)]
+
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute virtual time spent inside the block to ``name``.
+
+        Nested phases attribute time to the innermost phase only, so the
+        per-rank phase totals always sum to (at most) the rank's busy
+        time — the same accounting the paper's tables use.
+        """
+        rank = self.engine.current_rank()
+        start = self.engine.now
+        stack = self._stack[rank]
+        if stack:
+            # Close out the enclosing phase's running interval.
+            outer = stack[-1]
+            self._acc[rank][outer] = self._acc[rank].get(outer, 0.0)
+        stack.append(name)
+        try:
+            yield
+        finally:
+            stack.pop()
+            end = self.engine.now
+            acc = self._acc[rank]
+            acc[name] = acc.get(name, 0.0) + (end - start)
+            if stack:
+                # Avoid double counting: subtract from the enclosing phase
+                # by pre-crediting it (it will add the full span later).
+                outer = stack[-1]
+                acc[outer] = acc.get(outer, 0.0) - (end - start)
+            if self.timeline is not None:
+                self.timeline.add(Span(rank, name, start, end))
+
+    def seconds(self, rank: int, phase: str) -> float:
+        return self._acc[rank].get(phase, 0.0)
+
+    def rank_phases(self, rank: int) -> dict[str, float]:
+        return dict(self._acc[rank])
+
+    def max_over_ranks(self, phase: str) -> float:
+        return max((a.get(phase, 0.0) for a in self._acc), default=0.0)
+
+    def sum_over_ranks(self, phase: str) -> float:
+        return sum(a.get(phase, 0.0) for a in self._acc)
+
+    def phases_seen(self) -> list[str]:
+        seen: set[str] = set()
+        for a in self._acc:
+            seen.update(a)
+        return sorted(seen)

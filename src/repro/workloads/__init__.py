@@ -1,0 +1,26 @@
+"""Synthetic workloads standing in for GenBank nr/nt.
+
+The paper benchmarks random query samples of the nr (protein) database
+against nr itself.  We synthesize protein/DNA databases with planted
+homologous families — so queries sampled from the database produce the
+same hit-rich, output-heavy result structure the paper's workloads have
+— and sample query sets by target byte size exactly as the paper does
+(26 KB ... 289 KB query sets, Table 2).
+"""
+
+from repro.workloads.synth import (
+    SynthSpec,
+    synthesize_protein_records,
+    synthesize_dna_records,
+    mutate_sequence,
+)
+from repro.workloads.sampling import sample_queries, query_set_bytes
+
+__all__ = [
+    "SynthSpec",
+    "synthesize_protein_records",
+    "synthesize_dna_records",
+    "mutate_sequence",
+    "sample_queries",
+    "query_set_bytes",
+]

@@ -1,0 +1,53 @@
+"""Query sampling by target byte size.
+
+The paper: "we created several input query sets, each containing a
+different number of query sequences, by randomly sampling the nr
+database itself" — with sizes quoted in KB of FASTA text (26 KB, 77 KB,
+150 KB, 159 KB, 289 KB).  ``sample_queries`` mirrors that: draw random
+records until the FASTA rendering reaches the target size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blast.fasta import SeqRecord, format_record
+
+
+def query_set_bytes(records: list[SeqRecord]) -> int:
+    """FASTA byte size of a query set (the paper's 'query size')."""
+    return sum(len(format_record(r)) for r in records)
+
+
+def sample_queries(
+    database: list[SeqRecord],
+    target_bytes: int,
+    *,
+    seed: int = 0,
+    allow_repeats: bool = False,
+) -> list[SeqRecord]:
+    """Randomly sample records until FASTA size reaches ``target_bytes``.
+
+    Sampling is without replacement while records remain (matching how a
+    sampled query set from nr looks), with replacement afterwards if
+    ``allow_repeats`` — otherwise the sample saturates at the database.
+    """
+    if target_bytes <= 0:
+        raise ValueError("target_bytes must be positive")
+    if not database:
+        raise ValueError("cannot sample from an empty database")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(database))
+    out: list[SeqRecord] = []
+    size = 0
+    for idx in order:
+        if size >= target_bytes:
+            break
+        rec = database[int(idx)]
+        out.append(rec)
+        size += len(format_record(rec))
+    while size < target_bytes and allow_repeats:
+        rec = database[int(rng.integers(0, len(database)))]
+        out.append(rec)
+        size += len(format_record(rec))
+    return out

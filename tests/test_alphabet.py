@@ -1,0 +1,98 @@
+"""Unit tests for residue alphabets and encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.blast.alphabet import (
+    DNA,
+    NUM_STD_AA,
+    NUM_STD_NT,
+    PROTEIN,
+    alphabet_for_program,
+)
+
+
+class TestProteinAlphabet:
+    def test_has_24_letters(self):
+        assert len(PROTEIN) == 24
+
+    def test_standard_residues_come_first(self):
+        assert PROTEIN.letters[:NUM_STD_AA] == "ARNDCQEGHILKMFPSTWYV"
+
+    def test_ambiguity_codes_present(self):
+        for ch in "BZX*":
+            assert ch in PROTEIN.letters
+
+    def test_encode_known_residues(self):
+        codes = PROTEIN.encode("ARN")
+        assert list(codes) == [0, 1, 2]
+
+    def test_encode_is_case_insensitive(self):
+        assert np.array_equal(PROTEIN.encode("mkv"), PROTEIN.encode("MKV"))
+
+    def test_unknown_letter_maps_to_wildcard(self):
+        assert PROTEIN.encode("J")[0] == PROTEIN.wildcard_code
+
+    def test_decode_round_trip(self):
+        s = "MKVLAWYRNDCQEGHISTPF"
+        assert PROTEIN.decode(PROTEIN.encode(s)) == s
+
+    def test_decode_accepts_bytes(self):
+        assert PROTEIN.decode(bytes([0, 1, 2])) == "ARN"
+
+    def test_strict_validation(self):
+        assert PROTEIN.is_valid_strict("MKVX*BZ")
+        assert not PROTEIN.is_valid_strict("MKO")  # O not in alphabet
+
+    def test_encode_dtype_and_shape(self):
+        codes = PROTEIN.encode("MKV")
+        assert codes.dtype == np.uint8
+        assert codes.shape == (3,)
+
+    def test_empty_sequence(self):
+        assert len(PROTEIN.encode("")) == 0
+        assert PROTEIN.decode(np.array([], dtype=np.uint8)) == ""
+
+
+class TestDnaAlphabet:
+    def test_letters(self):
+        assert DNA.letters == "ACGTN"
+        assert NUM_STD_NT == 4
+
+    def test_wildcard_is_n(self):
+        assert DNA.wildcard == "N"
+        assert DNA.encode("X")[0] == DNA.wildcard_code
+
+    def test_round_trip(self):
+        s = "ACGTACGTNN"
+        assert DNA.decode(DNA.encode(s)) == s
+
+
+class TestAlphabetForProgram:
+    def test_blastp(self):
+        assert alphabet_for_program("blastp") is PROTEIN
+
+    def test_blastn(self):
+        assert alphabet_for_program("blastn") is DNA
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            alphabet_for_program("tblastx")
+
+
+@given(st.text(alphabet="ARNDCQEGHILKMFPSTWYVBZX*", max_size=200))
+def test_protein_round_trip_property(s):
+    assert PROTEIN.decode(PROTEIN.encode(s)) == s.upper()
+
+
+@given(st.text(alphabet="ACGTN", max_size=200))
+def test_dna_round_trip_property(s):
+    assert DNA.decode(DNA.encode(s)) == s.upper()
+
+
+@given(st.text(max_size=100))
+def test_encode_never_fails_and_stays_in_range(s):
+    codes = PROTEIN.encode(s)
+    assert (codes < len(PROTEIN)).all() if len(codes) else True

@@ -1,0 +1,52 @@
+"""Greedy fragment assignment."""
+
+import pytest
+
+from repro.parallel.assignment import GreedyAssigner
+
+
+class TestGreedyAssigner:
+    def test_assigns_each_fragment_once(self):
+        a = GreedyAssigner(5)
+        got = [a.assign(w) for w in (1, 2, 3, 1, 2)]
+        assert sorted(got) == [0, 1, 2, 3, 4]
+        assert a.done
+
+    def test_returns_none_when_exhausted(self):
+        a = GreedyAssigner(1)
+        assert a.assign(1) == 0
+        assert a.assign(2) is None
+
+    def test_prefers_held_fragment(self):
+        a = GreedyAssigner(3)
+        a.note_holding(7, 2)
+        assert a.assign(7) == 2
+
+    def test_prefers_least_replicated(self):
+        a = GreedyAssigner(3)
+        # fragments 0 and 1 are already replicated somewhere
+        a.note_holding(1, 0)
+        a.note_holding(2, 1)
+        assert a.assign(9) == 2  # zero copies
+
+    def test_deterministic_tie_break(self):
+        a = GreedyAssigner(4)
+        assert a.assign(5) == 0
+        assert a.assign(6) == 1
+
+    def test_note_holding_idempotent(self):
+        a = GreedyAssigner(2)
+        a.note_holding(1, 0)
+        a.note_holding(1, 0)
+        assert a.copies[0] == 1
+
+    def test_zero_fragments_rejected(self):
+        with pytest.raises(ValueError):
+            GreedyAssigner(0)
+
+    def test_natural_partitioning_degenerates_to_identity(self):
+        """Fresh workers requesting in rank order get fragment k."""
+        n = 8
+        a = GreedyAssigner(n)
+        for w in range(1, n + 1):
+            assert a.assign(w) == w - 1

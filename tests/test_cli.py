@@ -1,0 +1,98 @@
+"""The command-line interface end to end (real filesystem I/O)."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.blast.fasta import write_fasta
+from repro.workloads import SynthSpec, synthesize_protein_records
+
+
+@pytest.fixture()
+def fasta_file(tmp_path):
+    db = synthesize_protein_records(SynthSpec(num_sequences=30,
+                                              mean_length=120, seed=5))
+    path = tmp_path / "db.fasta"
+    path.write_text(write_fasta(db))
+    return path, db
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestFormatDbCommand:
+    def test_creates_files(self, fasta_file, tmp_path):
+        path, _ = fasta_file
+        out = tmp_path / "dbdir"
+        rc = main(["formatdb", str(path), "--name", "nr",
+                   "--outdir", str(out)])
+        assert rc == 0
+        for ext in ("xin", "xhr", "xsq"):
+            assert (out / f"nr.{ext}").exists()
+
+    def test_multi_volume(self, fasta_file, tmp_path):
+        path, db = fasta_file
+        letters = sum(len(r.sequence) for r in db)
+        out = tmp_path / "dbdir"
+        main(["formatdb", str(path), "--name", "nr", "--outdir", str(out),
+              "--volume-letters", str(letters // 3)])
+        assert (out / "nr.xal").exists()
+        assert (out / "nr.00.xin").exists()
+
+
+class TestSearchCommand:
+    def test_search_to_file(self, fasta_file, tmp_path, capsys):
+        path, db = fasta_file
+        out = tmp_path / "dbdir"
+        main(["formatdb", str(path), "--name", "nr", "--outdir", str(out)])
+        qpath = tmp_path / "q.fasta"
+        qpath.write_text(write_fasta(db[:2]))
+        report = tmp_path / "report.txt"
+        rc = main(["search", str(qpath), "--db", "nr",
+                   "--dbdir", str(out), "--out", str(report)])
+        assert rc == 0
+        text = report.read_text()
+        assert text.startswith("BLASTP")
+        # queries sampled from the db find themselves
+        assert db[0].defline in text
+
+    def test_search_to_stdout(self, fasta_file, tmp_path, capsys):
+        path, db = fasta_file
+        out = tmp_path / "dbdir"
+        main(["formatdb", str(path), "--name", "nr", "--outdir", str(out)])
+        qpath = tmp_path / "q.fasta"
+        qpath.write_text(write_fasta(db[:1]))
+        main(["search", str(qpath), "--db", "nr", "--dbdir", str(out)])
+        captured = capsys.readouterr()
+        assert "Query=" in captured.out
+
+
+class TestSimulateCommand:
+    @pytest.mark.parametrize("program", ["pioblast", "mpiblast", "queryseg"])
+    def test_simulate_prints_breakdown(self, program, capsys):
+        rc = main([
+            "simulate", program, "--nprocs", "4",
+            "--db-sequences", "60", "--mean-length", "100",
+            "--query-bytes", "1000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "search share" in out
+        assert "total" in out
+
+    def test_simulate_blade_platform(self, capsys):
+        rc = main([
+            "simulate", "pioblast", "--nprocs", "3", "--platform", "blade",
+            "--db-sequences", "60", "--mean-length", "100",
+            "--query-bytes", "800",
+        ])
+        assert rc == 0
+        assert "ncsu-blade" in capsys.readouterr().out

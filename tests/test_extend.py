@@ -1,0 +1,189 @@
+"""Extension DP: ungapped X-drop, gapped Gotoh X-drop, traceback oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast.alphabet import PROTEIN
+from repro.blast.extend import (
+    GappedExtension,
+    extend_gapped,
+    score_alignment_ops,
+    ungapped_extend,
+)
+from repro.blast.matrices import blosum62
+
+M = blosum62()
+GO, GE = 11, 1
+
+
+def enc(s: str) -> np.ndarray:
+    return PROTEIN.encode(s)
+
+
+def reference_half_extension(q, s, go, ge):
+    """Plain O(nm) Gotoh *extension* (anchored start, free end), no
+    X-drop — the oracle for the vectorized implementation."""
+    nq, ns = len(q), len(s)
+    NEG = -(10**9)
+    H = [[NEG] * (ns + 1) for _ in range(nq + 1)]
+    E = [[NEG] * (ns + 1) for _ in range(nq + 1)]
+    F = [[NEG] * (ns + 1) for _ in range(nq + 1)]
+    H[0][0] = 0
+    for j in range(1, ns + 1):
+        E[0][j] = -(go + ge * j)
+        H[0][j] = E[0][j]
+    for i in range(1, nq + 1):
+        F[i][0] = -(go + ge * i)
+        H[i][0] = F[i][0]
+        for j in range(1, ns + 1):
+            E[i][j] = max(E[i][j - 1] - ge, H[i][j - 1] - go - ge)
+            F[i][j] = max(F[i - 1][j] - ge, H[i - 1][j] - go - ge)
+            diag = H[i - 1][j - 1] + int(M[q[i - 1], s[j - 1]])
+            H[i][j] = max(diag, E[i][j], F[i][j])
+    return max(max(row) for row in H)
+
+
+class TestUngapped:
+    def test_perfect_match_extends_fully(self):
+        s = enc("MKVLAWYQNDCE")
+        hit = ungapped_extend(s, s, 4, 4, 3, M, 16)
+        assert hit.qstart == 0 and hit.qend == len(s)
+        assert hit.score == sum(int(M[c, c]) for c in s)
+
+    def test_mismatch_tail_trimmed(self):
+        q = enc("MKVLAW" + "P")
+        s = enc("MKVLAW" + "W")
+        hit = ungapped_extend(q, s, 0, 0, 3, M, 16)
+        # P vs W scores -4: the best extent excludes the tail
+        assert hit.qend == 6
+        assert hit.score == sum(int(M[c, c]) for c in enc("MKVLAW"))
+
+    def test_xdrop_stops_early(self):
+        # strong word, then a long run of terrible matches, then strong
+        q = enc("WWW" + "P" * 30 + "WWW")
+        s = enc("WWW" + "G" * 30 + "WWW")
+        hit = ungapped_extend(q, s, 0, 0, 3, M, 10)
+        assert hit.qend <= 8  # never crosses the desert
+
+    def test_left_extension(self):
+        q = enc("MKVLAWWWW")
+        s = enc("MKVLAWWWW")
+        hit = ungapped_extend(q, s, 6, 6, 3, M, 16)
+        assert hit.qstart == 0
+
+    def test_score_trimmed_to_best(self):
+        q = enc("WWWPA")
+        s = enc("WWWGA")
+        hit = ungapped_extend(q, s, 0, 0, 3, M, 40)
+        best_possible = 33  # WWW
+        assert hit.score >= best_possible
+
+
+class TestGapped:
+    def test_identity_alignment(self):
+        s = enc("MKVLAWYQNDCEHGIST")
+        ext = extend_gapped(s, s, 8, 8, M, GO, GE, 38)
+        assert ext.qstart == 0 and ext.qend == len(s)
+        assert ext.ops == "M" * len(s)
+        assert ext.score == sum(int(M[c, c]) for c in s)
+
+    def test_alignment_with_insertion(self):
+        q = enc("MKVLAWYQNDCEHGIST")
+        sub = enc("MKVLAWYQ" + "AAA" + "NDCEHGIST")
+        ext = extend_gapped(q, sub, 2, 2, M, GO, GE, 38)
+        assert "I" * 3 in ext.ops
+        # score = identity - gap(3)
+        ident = sum(int(M[c, c]) for c in q)
+        assert ext.score == ident - (GO + GE * 3)
+
+    def test_alignment_with_deletion(self):
+        q = enc("MKVLAWYQAAANDCEHGIST")
+        sub = enc("MKVLAWYQNDCEHGIST")
+        ext = extend_gapped(q, sub, 2, 2, M, GO, GE, 38)
+        assert "D" * 3 in ext.ops
+
+    def test_rescore_matches_reported_score(self):
+        q = enc("MKVLAWYQNDCEHGISTMKVLAW")
+        sub = enc("MKVLAWYQCEHGISTMKVLAW")
+        ext = extend_gapped(q, sub, 1, 1, M, GO, GE, 38)
+        assert score_alignment_ops(q, sub, ext, M, GO, GE) == ext.score
+
+    def test_gapped_at_least_ungapped(self):
+        q = enc("MKVLAWYQNDCEHGIST")
+        sub = enc("MKVLAWYQAANDCEHGIST")
+        uh = ungapped_extend(q, sub, 0, 0, 3, M, 16)
+        ext = extend_gapped(q, sub, 1, 1, M, GO, GE, 38)
+        assert ext.score >= uh.score
+
+    def test_anchor_out_of_range_raises(self):
+        s = enc("MKVLAW")
+        with pytest.raises(ValueError):
+            extend_gapped(s, s, 10, 0, M, GO, GE, 38)
+
+    def test_anchor_only_alignment_possible(self):
+        # surrounded by junk: alignment collapses to near the anchor
+        q = enc("PPPPWGGGG")
+        sub = enc("GGGGWPPPP")
+        ext = extend_gapped(q, sub, 4, 4, M, GO, GE, 8)
+        assert ext.qstart <= 4 < ext.qend
+        assert ext.score >= int(M[q[4], sub[4]])
+
+    def test_ops_span_claimed_ranges(self):
+        q = enc("MKVLAWYQNDCEHG")
+        sub = enc("MKVAWYQNDACEHG")
+        ext = extend_gapped(q, sub, 5, 5, M, GO, GE, 38)
+        nq = sum(1 for op in ext.ops if op in "MD")
+        ns = sum(1 for op in ext.ops if op in "MI")
+        assert nq == ext.qend - ext.qstart
+        assert ns == ext.send - ext.sstart
+
+
+_protein = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=40)
+
+
+class TestAgainstReference:
+    @given(_protein, _protein)
+    @settings(max_examples=80, deadline=None)
+    def test_half_extension_equals_full_dp_without_xdrop(self, qs, ss):
+        """With an effectively infinite X-drop the vectorized extension
+        must equal the plain Gotoh reference (validates the accumax-E
+        trick and the masking logic)."""
+        from repro.blast.extend import _extend_half
+
+        q, s = enc(qs), enc(ss)
+        got = _extend_half(q, s, M, GO, GE, 10**6)
+        want = reference_half_extension(q, s, GO, GE)
+        assert got.score == want
+
+    @given(_protein, _protein,
+           st.integers(min_value=5, max_value=60))
+    @settings(max_examples=80, deadline=None)
+    def test_traceback_rescores_exactly(self, qs, ss, xdrop):
+        q, s = enc(qs), enc(ss)
+        aq = min(len(q) - 1, len(q) // 2)
+        asub = min(len(s) - 1, len(s) // 2)
+        ext = extend_gapped(q, s, aq, asub, M, GO, GE, xdrop)
+        assert score_alignment_ops(q, s, ext, M, GO, GE) == ext.score
+
+    @given(_protein)
+    @settings(max_examples=40, deadline=None)
+    def test_self_alignment_is_identity(self, qs):
+        q = enc(qs)
+        a = len(q) // 2
+        ext = extend_gapped(q, q, a, a, M, GO, GE, 1000)
+        assert ext.ops == "M" * len(q)
+        assert ext.score == sum(int(M[c, c]) for c in q)
+
+    @given(_protein, st.integers(min_value=5, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_xdrop_never_beats_unbounded(self, qs, xdrop):
+        q = enc(qs)
+        other = enc(qs[::-1])
+        if len(other) == 0:
+            return
+        a = 0
+        bounded = extend_gapped(q, other, a, a, M, GO, GE, xdrop)
+        unbounded = extend_gapped(q, other, a, a, M, GO, GE, 10**6)
+        assert bounded.score <= unbounded.score

@@ -1,0 +1,113 @@
+"""Unit + property tests for FASTA parsing and formatting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.blast.fasta import (
+    FastaError,
+    SeqRecord,
+    format_record,
+    iter_fasta,
+    parse_fasta,
+    write_fasta,
+)
+
+
+class TestParse:
+    def test_single_record(self):
+        recs = parse_fasta(">id1 a defline\nMKV\nLAW\n")
+        assert len(recs) == 1
+        assert recs[0].defline == "id1 a defline"
+        assert recs[0].sequence == "MKVLAW"
+
+    def test_multiple_records(self):
+        recs = parse_fasta(">a\nAA\n>b\nCC\n>c\nGG\n")
+        assert [r.defline for r in recs] == ["a", "b", "c"]
+        assert [r.sequence for r in recs] == ["AA", "CC", "GG"]
+
+    def test_blank_lines_ignored(self):
+        recs = parse_fasta("\n>a\n\nAAA\n\n\n>b\nCC\n")
+        assert [r.sequence for r in recs] == ["AAA", "CC"]
+
+    def test_crlf_endings(self):
+        recs = parse_fasta(">a desc\r\nMK\r\nVL\r\n")
+        assert recs[0].sequence == "MKVL"
+
+    def test_legacy_comment_lines(self):
+        recs = parse_fasta("; comment\n>a\nMK\n")
+        assert recs[0].sequence == "MK"
+
+    def test_bytes_input(self):
+        recs = parse_fasta(b">a\nMK\n")
+        assert recs[0].sequence == "MK"
+
+    def test_sequence_before_defline_raises(self):
+        with pytest.raises(FastaError):
+            parse_fasta("MKV\n>a\nMK\n")
+
+    def test_empty_input(self):
+        assert parse_fasta("") == []
+
+    def test_empty_sequence_record(self):
+        recs = parse_fasta(">a\n>b\nMK\n")
+        assert recs[0].sequence == ""
+        assert recs[1].sequence == "MK"
+
+    def test_record_id_is_first_token(self):
+        rec = SeqRecord("gi|123|ref def here", "MK")
+        assert rec.id == "gi|123|ref"
+
+    def test_iter_is_lazy_compatible(self):
+        it = iter_fasta(">a\nMK\n>b\nVL\n")
+        assert next(it).defline == "a"
+        assert next(it).defline == "b"
+
+
+class TestFormat:
+    def test_wrapping_at_width(self):
+        rec = SeqRecord("x", "A" * 125)
+        out = format_record(rec, width=60)
+        lines = out.splitlines()
+        assert lines[0] == ">x"
+        assert [len(x) for x in lines[1:]] == [60, 60, 5]
+
+    def test_trailing_newline(self):
+        assert format_record(SeqRecord("x", "MK")).endswith("\n")
+
+    def test_bad_width_raises(self):
+        with pytest.raises(ValueError):
+            format_record(SeqRecord("x", "MK"), width=0)
+
+    def test_write_concatenates(self):
+        recs = [SeqRecord("a", "MK"), SeqRecord("b", "VL")]
+        assert write_fasta(recs) == ">a\nMK\n>b\nVL\n"
+
+
+_deflines = st.text(
+    alphabet=st.characters(
+        codec="ascii", exclude_characters=">\n\r;", categories=("L", "N", "P", "Zs")
+    ),
+    min_size=1,
+    max_size=40,
+).map(str.strip).filter(lambda s: s and not s.startswith(">"))
+
+_seqs = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=0, max_size=300)
+
+
+@given(st.lists(st.tuples(_deflines, _seqs), min_size=1, max_size=8))
+def test_round_trip_property(pairs):
+    recs = [SeqRecord(d, s) for d, s in pairs]
+    parsed = parse_fasta(write_fasta(recs))
+    assert [(r.defline, r.sequence) for r in parsed] == [
+        (r.defline, r.sequence) for r in recs
+    ]
+
+
+@given(st.lists(st.tuples(_deflines, _seqs), min_size=1, max_size=5),
+       st.integers(min_value=1, max_value=120))
+def test_round_trip_any_width(pairs, width):
+    recs = [SeqRecord(d, s) for d, s in pairs]
+    text = "".join(format_record(r, width) for r in recs)
+    parsed = parse_fasta(text)
+    assert [r.sequence for r in parsed] == [r.sequence for r in recs]

@@ -1,0 +1,219 @@
+"""formatdb binary format: round trips, volumes, virtual partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast.alphabet import DNA, PROTEIN
+from repro.blast.fasta import SeqRecord
+from repro.blast.formatdb import (
+    DatabaseIndex,
+    DatabaseVolume,
+    FormatDbError,
+    FormattedDatabase,
+    build_index,
+    formatdb,
+)
+
+
+def records(n=12, L=30):
+    rng = np.random.default_rng(5)
+    out = []
+    for i in range(n):
+        seq = "".join(
+            PROTEIN.letters[c] for c in rng.integers(0, 20, L + i)
+        )
+        out.append(SeqRecord(f"rec{i} test sequence {i}", seq))
+    return out
+
+
+def store_and_put():
+    files = {}
+    return files, lambda p, d: files.__setitem__(p, d)
+
+
+class TestBuildIndex:
+    def test_counts(self):
+        recs = records()
+        idx, xhr, xsq = build_index(recs, PROTEIN, "t")
+        assert idx.nseqs == len(recs)
+        assert idx.total_letters == sum(len(r.sequence) for r in recs)
+        assert idx.max_length == max(len(r.sequence) for r in recs)
+        assert len(xsq) == idx.total_letters
+
+    def test_offsets_monotone(self):
+        idx, _, _ = build_index(records(), PROTEIN, "t")
+        assert (np.diff(idx.seq_offsets.astype(np.int64)) >= 0).all()
+        assert idx.seq_offsets[0] == 0
+
+    def test_index_byte_round_trip(self):
+        idx, _, _ = build_index(records(), PROTEIN, "mytitle")
+        again = DatabaseIndex.from_bytes(idx.to_bytes())
+        assert again.title == "mytitle"
+        assert again.nseqs == idx.nseqs
+        assert np.array_equal(again.seq_offsets, idx.seq_offsets)
+        assert np.array_equal(again.hdr_offsets, idx.hdr_offsets)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(FormatDbError):
+            DatabaseIndex.from_bytes(b"XXXX" + b"\x00" * 100)
+
+    def test_truncated_rejected(self):
+        idx, _, _ = build_index(records(), PROTEIN, "t")
+        with pytest.raises(FormatDbError):
+            DatabaseIndex.from_bytes(idx.to_bytes()[:-8])
+
+
+class TestFormatDbRoundTrip:
+    def test_single_volume(self):
+        recs = records()
+        files, put = store_and_put()
+        names = formatdb(recs, "nr", put, title="my nr")
+        assert names == ["nr"]
+        db = FormattedDatabase.open("nr", files.__getitem__)
+        assert db.num_sequences == len(recs)
+        for i, r in enumerate(recs):
+            assert db.get_defline(i) == r.defline
+            assert db.get_record(i).sequence == r.sequence
+        assert db.total_letters == sum(len(r.sequence) for r in recs)
+
+    def test_fasta_text_input(self):
+        files, put = store_and_put()
+        formatdb(">a\nMKV\n>b\nLAW\n", "db", put)
+        db = FormattedDatabase.open("db", files.__getitem__)
+        assert db.get_record(1).sequence == "LAW"
+
+    def test_dna_database(self):
+        recs = [SeqRecord("d", "ACGTACGT")]
+        files, put = store_and_put()
+        formatdb(recs, "nt", put, alphabet=DNA)
+        db = FormattedDatabase.open("nt", files.__getitem__)
+        assert db.alphabet is DNA
+        assert db.get_record(0).sequence == "ACGTACGT"
+
+    def test_multi_volume_split(self):
+        recs = records(n=10, L=50)
+        files, put = store_and_put()
+        names = formatdb(recs, "big", put, max_letters_per_volume=120)
+        assert len(names) > 1
+        assert "big.xal" in files
+        db = FormattedDatabase.open("big", files.__getitem__)
+        assert db.num_sequences == len(recs)
+        # global numbering must be seamless across volumes
+        for i, r in enumerate(recs):
+            assert db.get_record(i).sequence == r.sequence
+
+    def test_volume_boundaries_respect_budget(self):
+        recs = [SeqRecord(f"r{i}", "A" * 40) for i in range(6)]
+        files, put = store_and_put()
+        names = formatdb(recs, "v", put, max_letters_per_volume=80)
+        assert len(names) == 3  # 2 sequences of 40 letters per volume
+
+    def test_bad_volume_budget(self):
+        files, put = store_and_put()
+        with pytest.raises(FormatDbError):
+            formatdb(records(), "x", put, max_letters_per_volume=0)
+
+
+class TestVirtualPartitioning:
+    def test_ranges_cover_exactly(self):
+        idx, _, _ = build_index(records(20), PROTEIN, "t")
+        for n in (1, 3, 7, 20):
+            ranges = idx.partition_ranges(n)
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == 20
+            for (a, b), (c, d) in zip(ranges, ranges[1:]):
+                assert b == c
+
+    def test_more_fragments_than_sequences_clamped(self):
+        idx, _, _ = build_index(records(4), PROTEIN, "t")
+        ranges = idx.partition_ranges(10)
+        assert len(ranges) <= 4
+        assert ranges[-1][1] == 4
+
+    def test_balanced_by_letters(self):
+        recs = [SeqRecord(f"r{i}", "A" * 100) for i in range(30)]
+        idx, _, _ = build_index(recs, PROTEIN, "t")
+        ranges = idx.partition_ranges(3)
+        sizes = [
+            int(idx.seq_offsets[hi] - idx.seq_offsets[lo])
+            for lo, hi in ranges
+        ]
+        assert max(sizes) - min(sizes) <= 100
+
+    def test_byte_ranges_reconstruct_slice(self):
+        recs = records(15)
+        idx, xhr, xsq = build_index(recs, PROTEIN, "t")
+        lo, hi = 4, 11
+        br = idx.byte_ranges(lo, hi)
+        part_hr = xhr[br["xhr"][0] : br["xhr"][0] + br["xhr"][1]]
+        part_sq = xsq[br["xsq"][0] : br["xsq"][0] + br["xsq"][1]]
+        vol = DatabaseVolume(idx, part_hr, part_sq, lo=lo, hi=hi)
+        assert vol.num_sequences == hi - lo
+        for k in range(hi - lo):
+            assert vol.get_record(k).sequence == recs[lo + k].sequence
+            assert vol.get_defline(k) == recs[lo + k].defline
+
+    def test_bad_byte_range_rejected(self):
+        idx, _, _ = build_index(records(5), PROTEIN, "t")
+        with pytest.raises(FormatDbError):
+            idx.byte_ranges(3, 2)
+        with pytest.raises(FormatDbError):
+            idx.byte_ranges(0, 99)
+
+    def test_wrong_slice_length_rejected(self):
+        recs = records(5)
+        idx, xhr, xsq = build_index(recs, PROTEIN, "t")
+        with pytest.raises(FormatDbError):
+            DatabaseVolume(idx, xhr[:-1], xsq)
+
+    def test_zero_fragments_rejected(self):
+        idx, _, _ = build_index(records(5), PROTEIN, "t")
+        with pytest.raises(FormatDbError):
+            idx.partition_ranges(0)
+
+
+_rec_lists = st.lists(
+    st.tuples(
+        st.text(alphabet="abcdefgh123 |", min_size=1, max_size=25).map(
+            str.strip
+        ).filter(bool),
+        st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=60),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+@given(_rec_lists)
+@settings(max_examples=40, deadline=None)
+def test_round_trip_property(pairs):
+    recs = [SeqRecord(d, s) for d, s in pairs]
+    files, put = store_and_put()
+    formatdb(recs, "p", put)
+    db = FormattedDatabase.open("p", files.__getitem__)
+    assert [
+        (db.get_defline(i), db.get_record(i).sequence)
+        for i in range(db.num_sequences)
+    ] == [(r.defline, r.sequence) for r in recs]
+
+
+@given(_rec_lists, st.integers(min_value=1, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_partition_slices_cover_property(pairs, nfrag):
+    recs = [SeqRecord(d, s) for d, s in pairs]
+    idx, xhr, xsq = build_index(recs, PROTEIN, "t")
+    seen = []
+    for lo, hi in idx.partition_ranges(nfrag):
+        br = idx.byte_ranges(lo, hi)
+        vol = DatabaseVolume(
+            idx,
+            xhr[br["xhr"][0] : br["xhr"][0] + br["xhr"][1]],
+            xsq[br["xsq"][0] : br["xsq"][0] + br["xsq"][1]],
+            lo=lo,
+            hi=hi,
+        )
+        for k in range(vol.num_sequences):
+            seen.append(vol.get_record(k).sequence)
+    assert seen == [r.sequence for r in recs]

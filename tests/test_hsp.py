@@ -1,0 +1,109 @@
+"""HSP records, containment culling, alignment ranking."""
+
+from repro.blast.hsp import HSP, Alignment, QueryResult, cull_contained
+
+
+def mk(score, qs, qe, ss, se, oid=0):
+    return HSP(subject_oid=oid, qstart=qs, qend=qe, sstart=ss, send=se,
+               score=score)
+
+
+def mk_al(score, evalue, oid, qstart=0, send=10):
+    return Alignment(
+        query_index=0,
+        subject_oid=oid,
+        subject_defline=f"s{oid}",
+        subject_length=100,
+        score=score,
+        bit_score=score * 0.4,
+        evalue=evalue,
+        qstart=qstart,
+        qend=qstart + 10,
+        sstart=0,
+        send=send,
+        aligned_query="A" * 10,
+        midline="A" * 10,
+        aligned_subject="A" * 10,
+        identities=10,
+        positives=10,
+        gaps=0,
+    )
+
+
+class TestContainment:
+    def test_contained_lower_scoring_dropped(self):
+        big = mk(100, 0, 50, 0, 50)
+        small = mk(40, 10, 20, 10, 20)
+        assert cull_contained([big, small]) == [big]
+
+    def test_contained_higher_scoring_survives(self):
+        outer = mk(40, 0, 50, 0, 50)
+        inner = mk(100, 10, 20, 10, 20)
+        kept = cull_contained([outer, inner])
+        assert inner in kept and outer in kept  # outer not inside inner
+
+    def test_different_subjects_never_cull(self):
+        a = mk(100, 0, 50, 0, 50, oid=0)
+        b = mk(10, 10, 20, 10, 20, oid=1)
+        assert len(cull_contained([a, b])) == 2
+
+    def test_partial_overlap_kept(self):
+        a = mk(100, 0, 30, 0, 30)
+        b = mk(50, 20, 50, 20, 50)
+        assert len(cull_contained([a, b])) == 2
+
+    def test_query_contained_subject_not(self):
+        a = mk(100, 0, 50, 0, 50)
+        b = mk(50, 10, 20, 60, 70)  # subject range outside
+        assert len(cull_contained([a, b])) == 2
+
+    def test_identical_ranges_keep_first(self):
+        a = mk(50, 0, 10, 0, 10)
+        b = mk(50, 0, 10, 0, 10)
+        kept = cull_contained([a, b])
+        assert kept == [a]
+
+    def test_order_preserved(self):
+        hsps = [mk(10, 0, 5, 0, 5), mk(90, 20, 40, 20, 40),
+                mk(50, 50, 60, 50, 60)]
+        assert cull_contained(list(hsps)) == hsps
+
+    def test_empty(self):
+        assert cull_contained([]) == []
+
+    def test_chain_containment(self):
+        a = mk(100, 0, 100, 0, 100)
+        b = mk(50, 10, 90, 10, 90)
+        c = mk(25, 20, 80, 20, 80)
+        assert cull_contained([a, b, c]) == [a]
+
+
+class TestSortKey:
+    def test_score_dominates(self):
+        good = mk_al(100, 1e-20, 5)
+        bad = mk_al(50, 1e-30, 1)
+        assert sorted([bad, good], key=Alignment.sort_key)[0] is good
+
+    def test_oid_breaks_ties(self):
+        a = mk_al(100, 1e-20, 2)
+        b = mk_al(100, 1e-20, 7)
+        assert sorted([b, a], key=Alignment.sort_key)[0] is a
+
+    def test_qstart_breaks_oid_ties(self):
+        a = mk_al(100, 1e-20, 2, qstart=0)
+        b = mk_al(100, 1e-20, 2, qstart=5)
+        assert sorted([b, a], key=Alignment.sort_key)[0] is a
+
+    def test_query_result_ranked(self):
+        qr = QueryResult(0, "q", 100,
+                         [mk_al(10, 1.0, 0), mk_al(90, 1e-9, 1)])
+        assert qr.ranked()[0].score == 90
+
+
+class TestDiagAndPayload:
+    def test_diag(self):
+        assert mk(1, 10, 20, 3, 13).diag == 7
+
+    def test_payload_nbytes_positive_and_scales(self):
+        small = mk_al(1, 1.0, 0)
+        assert small.payload_nbytes() > 0

@@ -1,0 +1,88 @@
+"""Adaptive granularity and weighted partitioning (§5 extensions)."""
+
+import pytest
+
+from repro.blast.alphabet import PROTEIN
+from repro.blast.fasta import SeqRecord
+from repro.blast.formatdb import build_index
+from repro.parallel.loadbalance import (
+    fragments_from_budgets,
+    refinement_schedule,
+    weighted_partition,
+)
+
+
+def index_of(n=40, L=50):
+    recs = [SeqRecord(f"r{i}", "A" * L) for i in range(n)]
+    idx, _, _ = build_index(recs, PROTEIN, "t")
+    return idx
+
+
+class TestRefinementSchedule:
+    def test_budgets_sum_to_total(self):
+        for total in (1000, 12345, 7):
+            for w in (1, 3, 8):
+                budgets = refinement_schedule(total, w)
+                assert sum(budgets) == total
+
+    def test_starts_coarse_ends_fine(self):
+        budgets = refinement_schedule(100_000, 4)
+        assert budgets[0] > budgets[-1]
+
+    def test_first_round_is_coarse_fraction(self):
+        budgets = refinement_schedule(100_000, 4, coarse_fraction=0.5)
+        assert budgets[0] == 12_500  # (100000/4) * 0.5
+
+    def test_coarse_to_fine_trend(self):
+        budgets = refinement_schedule(50_000, 3)
+        # First fragment is the largest; the final (remainder) round may
+        # jitter by a few letters but stays within 2x of the smallest.
+        assert budgets[0] == max(budgets)
+        assert max(budgets[-3:]) <= 2 * min(budgets)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            refinement_schedule(100, 0)
+        with pytest.raises(ValueError):
+            refinement_schedule(100, 2, coarse_fraction=0.0)
+        with pytest.raises(ValueError):
+            refinement_schedule(100, 2, refine_factor=1.0)
+
+
+class TestFragmentsFromBudgets:
+    def test_covers_all_sequences(self):
+        idx = index_of()
+        frags = fragments_from_budgets(idx, refinement_schedule(
+            idx.total_letters, 4))
+        assert frags[0].lo == 0
+        assert frags[-1].hi == idx.nseqs
+        for a, b in zip(frags, frags[1:]):
+            assert a.hi == b.lo
+
+    def test_respects_sequence_boundaries(self):
+        idx = index_of(n=10, L=100)
+        frags = fragments_from_budgets(idx, [250, 250, 500])
+        # cuts land on multiples of 100 letters
+        for vf in frags:
+            assert vf.xsq_range[0] % 100 == 0
+
+
+class TestWeightedPartition:
+    def test_proportional_sizes(self):
+        idx = index_of(n=60, L=100)
+        frags = weighted_partition(idx, [1.0, 2.0, 3.0])
+        sizes = [vf.xsq_range[1] for vf in frags]
+        assert sizes[2] > sizes[1] > sizes[0]
+        assert sum(sizes) == idx.total_letters
+
+    def test_single_weight_takes_all(self):
+        idx = index_of()
+        (vf,) = weighted_partition(idx, [5.0])
+        assert vf.lo == 0 and vf.hi == idx.nseqs
+
+    def test_bad_weights(self):
+        idx = index_of()
+        with pytest.raises(ValueError):
+            weighted_partition(idx, [])
+        with pytest.raises(ValueError):
+            weighted_partition(idx, [1.0, -2.0])

@@ -1,0 +1,88 @@
+"""Unit tests for scoring matrices."""
+
+import numpy as np
+import pytest
+
+from repro.blast.alphabet import PROTEIN
+from repro.blast.matrices import blosum62, dna_matrix, get_matrix
+
+
+class TestBlosum62:
+    def test_shape_and_dtype(self):
+        m = blosum62()
+        assert m.shape == (24, 24)
+        assert m.dtype == np.int32
+
+    def test_symmetric(self):
+        m = blosum62()
+        assert np.array_equal(m, m.T)
+
+    def test_known_spot_values(self):
+        m = blosum62()
+        idx = {c: i for i, c in enumerate(PROTEIN.letters)}
+        # Canonical entries from the NCBI table.
+        assert m[idx["W"], idx["W"]] == 11
+        assert m[idx["C"], idx["C"]] == 9
+        assert m[idx["A"], idx["A"]] == 4
+        assert m[idx["R"], idx["K"]] == 2
+        assert m[idx["W"], idx["C"]] == -2
+        assert m[idx["D"], idx["E"]] == 2
+        assert m[idx["I"], idx["L"]] == 2
+        assert m[idx["P"], idx["P"]] == 7
+        assert m[idx["*"], idx["*"]] == 1
+        assert m[idx["A"], idx["*"]] == -4
+
+    def test_diagonal_positive_for_standard_residues(self):
+        m = blosum62()
+        assert (np.diag(m)[:20] > 0).all()
+
+    def test_immutable(self):
+        m = blosum62()
+        with pytest.raises(ValueError):
+            m[0, 0] = 99
+
+    def test_singleton(self):
+        assert blosum62() is blosum62()
+
+    def test_x_scores_minus_one_vs_standard(self):
+        m = blosum62()
+        x = PROTEIN.letters.index("X")
+        # X vs most standard residues is -1 or 0 in BLOSUM62
+        assert set(np.unique(m[x, :20])) <= {-2, -1, 0}
+
+
+class TestDnaMatrix:
+    def test_default_match_mismatch(self):
+        m = dna_matrix()
+        assert m[0, 0] == 1
+        assert m[0, 1] == -3
+
+    def test_custom_scores(self):
+        m = dna_matrix(2, -5)
+        assert m[2, 2] == 2
+        assert m[1, 3] == -5
+
+    def test_n_never_matches(self):
+        m = dna_matrix()
+        n = 4
+        assert (m[n, :] < 0).all()
+        assert m[n, n] < 0
+
+    def test_symmetric(self):
+        m = dna_matrix()
+        assert np.array_equal(m, m.T)
+
+    def test_invalid_scores_raise(self):
+        with pytest.raises(ValueError):
+            dna_matrix(0, -3)
+        with pytest.raises(ValueError):
+            dna_matrix(1, 1)
+
+
+class TestGetMatrix:
+    def test_blosum62_lookup_case_insensitive(self):
+        assert get_matrix("blosum62") is blosum62()
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_matrix("PAM1000")

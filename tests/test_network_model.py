@@ -1,0 +1,84 @@
+"""Network model and payload sizing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi.network import NetworkModel, payload_nbytes
+
+
+class TestNetworkModel:
+    def test_delivery_time_formula(self):
+        net = NetworkModel(latency=1e-3, bandwidth=1e6)
+        assert net.delivery_time(0) == pytest.approx(1e-3)
+        assert net.delivery_time(1_000_000) == pytest.approx(1.001)
+
+    def test_eager_threshold(self):
+        net = NetworkModel(eager_threshold=1000)
+        assert net.is_eager(1000)
+        assert not net.is_eager(1001)
+
+    def test_frozen(self):
+        net = NetworkModel()
+        with pytest.raises(AttributeError):
+            net.latency = 5.0
+
+
+class TestPayloadNbytes:
+    def test_none(self):
+        assert payload_nbytes(None) == 0
+
+    def test_bytes(self):
+        assert payload_nbytes(b"12345") == 5
+
+    def test_str_utf8(self):
+        assert payload_nbytes("abc") == 3
+        assert payload_nbytes("é") == 2
+
+    def test_numbers(self):
+        assert payload_nbytes(7) == 8
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(True) == 1
+
+    def test_numpy(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.int32)) == 40
+
+    def test_containers_recursive(self):
+        assert payload_nbytes([b"ab", b"cd"]) == 16 + 4
+        assert payload_nbytes({"k": b"abc"}) == 16 + 1 + 3
+        assert payload_nbytes((1, 2.0)) == 16 + 16
+
+    def test_custom_hook_wins(self):
+        class Thing:
+            def payload_nbytes(self):
+                return 1234
+
+        assert payload_nbytes(Thing()) == 1234
+
+    def test_plain_object_via_dict(self):
+        class Rec:
+            def __init__(self):
+                self.a = b"xyzt"
+                self.b = 1
+
+        assert payload_nbytes(Rec()) == 16 + 4 + 8
+
+    def test_slots_object(self):
+        class S:
+            __slots__ = ("x",)
+
+            def __init__(self):
+                self.x = b"abcd"
+
+        assert payload_nbytes(S()) == 16 + 4
+
+    @given(st.binary(max_size=500))
+    @settings(max_examples=30)
+    def test_bytes_exact(self, b):
+        assert payload_nbytes(b) == len(b)
+
+    @given(st.lists(st.binary(max_size=50), max_size=10))
+    @settings(max_examples=30)
+    def test_list_at_least_content(self, items):
+        assert payload_nbytes(items) >= sum(len(i) for i in items)

@@ -1,0 +1,186 @@
+"""Report writer: byte determinism, piecewise assembly, formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast.hsp import Alignment
+from repro.blast.output import (
+    DbStats,
+    HitSummary,
+    ReportWriter,
+    format_bits,
+    format_evalue,
+)
+
+
+def writer():
+    return ReportWriter(
+        "blastp",
+        DbStats("test nr", 1000, 250_000),
+        lam=0.267,
+        k=0.041,
+        h=0.14,
+    )
+
+
+def alignment(**kw):
+    defaults = dict(
+        query_index=0,
+        subject_oid=3,
+        subject_defline="subj|3| a protein",
+        subject_length=222,
+        score=250,
+        bit_score=100.9,
+        evalue=3.2e-22,
+        qstart=4,
+        qend=14,
+        sstart=9,
+        send=19,
+        aligned_query="MKVLAWYQND",
+        midline="MKV AW+QND",
+        aligned_subject="MKVPAWFQND",
+        identities=8,
+        positives=9,
+        gaps=0,
+    )
+    defaults.update(kw)
+    return Alignment(**defaults)
+
+
+class TestEvalueFormat:
+    def test_zero_regime(self):
+        assert format_evalue(1e-200) == "0.0"
+
+    def test_scientific(self):
+        assert format_evalue(3.2e-22) == "3e-22"
+
+    def test_decimal_small(self):
+        assert format_evalue(0.0123) == "0.012"
+
+    def test_one_ish(self):
+        assert format_evalue(2.34) == "2.3"
+
+    def test_big(self):
+        assert format_evalue(11.4) == "11"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_evalue(-1.0)
+
+    @given(st.floats(min_value=1e-300, max_value=1e3))
+    @settings(max_examples=80)
+    def test_always_a_short_string(self, e):
+        s = format_evalue(e)
+        assert 0 < len(s) <= 8
+
+    def test_bits(self):
+        assert format_bits(100.94) == "100.9"
+
+
+class TestPieces:
+    def test_preamble_contains_database(self):
+        p = writer().preamble().decode()
+        assert "test nr" in p
+        assert "1,000 sequences" in p
+        assert p.startswith("BLASTP")
+
+    def test_header_lists_summaries_in_order(self):
+        summaries = [
+            HitSummary("first hit", 200.0, 1e-50),
+            HitSummary("second hit", 100.0, 1e-20),
+        ]
+        h = writer().query_header("q1 test", 333, summaries).decode()
+        assert "Query= q1 test" in h
+        assert h.index("first hit") < h.index("second hit")
+        assert "(333 letters)" in h
+
+    def test_header_no_hits(self):
+        h = writer().query_header("q", 10, []).decode()
+        assert "No hits found" in h
+
+    def test_long_defline_truncated_in_summary(self):
+        s = [HitSummary("x" * 100, 10.0, 1.0)]
+        h = writer().query_header("q", 10, s).decode()
+        assert "xxx..." in h
+
+    def test_block_contains_scores_and_coords(self):
+        b = writer().alignment_block(alignment()).decode()
+        assert " Score = 100.9 bits (250), Expect = 3e-22" in b
+        assert "Identities = 8/10 (80%)" in b
+        assert "Query  5" in b  # 1-based display
+        assert "Sbjct  10" in b
+        assert "Length = 222" in b
+
+    def test_block_gap_line_only_when_gaps(self):
+        no_gaps = writer().alignment_block(alignment()).decode()
+        assert "Gaps =" not in no_gaps
+        g = alignment(
+            gaps=1,
+            aligned_query="MKV-LAWYQND",
+            midline="MKV LAW+QND",
+            aligned_subject="MKVPLAWFQND",
+            send=20,
+        )
+        with_gaps = writer().alignment_block(g).decode()
+        assert "Gaps = 1/11" in with_gaps
+
+    def test_block_wraps_long_alignments(self):
+        n = 150
+        al = alignment(
+            aligned_query="A" * n,
+            midline="A" * n,
+            aligned_subject="A" * n,
+            qend=4 + n,
+            send=9 + n,
+            identities=n,
+            positives=n,
+        )
+        b = writer().alignment_block(al).decode()
+        assert b.count("Query ") == 3  # 60 + 60 + 30
+
+    def test_block_coordinates_skip_gaps(self):
+        al = alignment(
+            aligned_query="MK--VLAW",
+            midline="MK  VLAW",
+            aligned_subject="MKAAVLAW",
+            qstart=0,
+            qend=6,
+            sstart=0,
+            send=8,
+            gaps=2,
+            identities=6,
+            positives=6,
+        )
+        b = writer().alignment_block(al).decode()
+        # query consumed 6 residues => last coordinate 6
+        assert "Query  1      MK--VLAW  6" in b
+
+    def test_footer_contains_params_and_space(self):
+        f = writer().query_footer(1.25e9).decode()
+        assert "Lambda" in f
+        assert "0.267" in f
+        assert "Effective search space used: 1250000000" in f
+
+    def test_determinism(self):
+        w1, w2 = writer(), writer()
+        al = alignment()
+        assert w1.alignment_block(al) == w2.alignment_block(al)
+        assert w1.preamble() == w2.preamble()
+
+    def test_program_banner_adapts(self):
+        w = ReportWriter(
+            "blastn", DbStats("nt", 10, 100), lam=1.37, k=0.71, h=1.3
+        )
+        assert w.preamble().decode().startswith("BLASTN")
+
+
+class TestPiecewiseAssembly:
+    def test_block_sizes_known_in_advance(self):
+        """The pioBLAST contract: len(block) is exactly what lands in
+        the file (offset arithmetic depends on it)."""
+        w = writer()
+        al = alignment()
+        block = w.alignment_block(al)
+        assert isinstance(block, bytes)
+        assert len(block) == len(w.alignment_block(al))

@@ -1,0 +1,151 @@
+"""Property tests on the report writer's byte-layout contract.
+
+pioBLAST's collective output only works because (a) an alignment block
+renders to exactly the same bytes on any rank, (b) its size is a pure
+function of the alignment record, and (c) the master can render headers
+from metadata alone.  These properties are exercised with random
+alignment records.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast.hsp import Alignment
+from repro.blast.output import DbStats, HitSummary, ReportWriter
+
+_residues = "ARNDCQEGHILKMFPSTWYV"
+
+
+@st.composite
+def alignments(draw):
+    n = draw(st.integers(min_value=1, max_value=150))
+    aq = []
+    asub = []
+    mid = []
+    identities = positives = gaps = 0
+    for _ in range(n):
+        kind = draw(st.sampled_from(["match", "mismatch", "qgap", "sgap"]))
+        if kind == "qgap" and len(aq) > 0:
+            aq.append("-")
+            asub.append(draw(st.sampled_from(_residues)))
+            mid.append(" ")
+            gaps += 1
+        elif kind == "sgap" and len(aq) > 0:
+            aq.append(draw(st.sampled_from(_residues)))
+            asub.append("-")
+            mid.append(" ")
+            gaps += 1
+        elif kind == "match":
+            c = draw(st.sampled_from(_residues))
+            aq.append(c)
+            asub.append(c)
+            mid.append(c)
+            identities += 1
+            positives += 1
+        else:
+            aq.append(draw(st.sampled_from(_residues)))
+            asub.append(draw(st.sampled_from(_residues)))
+            mid.append(" ")
+    q_res = sum(1 for c in aq if c != "-")
+    s_res = sum(1 for c in asub if c != "-")
+    qstart = draw(st.integers(min_value=0, max_value=5000))
+    sstart = draw(st.integers(min_value=0, max_value=5000))
+    return Alignment(
+        query_index=0,
+        subject_oid=draw(st.integers(min_value=0, max_value=10**6)),
+        subject_defline=draw(
+            st.text(alphabet="abcXYZ019| ._-", min_size=1, max_size=90)
+        ),
+        subject_length=draw(st.integers(min_value=1, max_value=10**6)),
+        score=draw(st.integers(min_value=1, max_value=10**5)),
+        bit_score=draw(
+            st.floats(min_value=0.1, max_value=1e5, allow_nan=False)
+        ),
+        evalue=draw(st.floats(min_value=1e-280, max_value=100.0)),
+        qstart=qstart,
+        qend=qstart + max(q_res, 1),
+        sstart=sstart,
+        send=sstart + max(s_res, 1),
+        aligned_query="".join(aq),
+        midline="".join(mid),
+        aligned_subject="".join(asub),
+        identities=identities,
+        positives=positives,
+        gaps=gaps,
+    )
+
+
+def make_writer():
+    return ReportWriter(
+        "blastp", DbStats("db", 100, 25_000), lam=0.267, k=0.041, h=0.14
+    )
+
+
+@given(alignments())
+@settings(max_examples=120, deadline=None)
+def test_block_rendering_is_deterministic(al):
+    w1, w2 = make_writer(), make_writer()
+    assert w1.alignment_block(al) == w2.alignment_block(al)
+
+
+@given(alignments())
+@settings(max_examples=120, deadline=None)
+def test_block_is_valid_utf8_and_terminated(al):
+    block = make_writer().alignment_block(al)
+    text = block.decode("utf-8")
+    assert text.startswith(">")
+    assert text.endswith("\n")
+
+
+@given(alignments())
+@settings(max_examples=80, deadline=None)
+def test_block_coordinates_cover_claimed_ranges(al):
+    """The rendered coordinate lines must span exactly qstart+1..qend
+    and sstart+1..send (1-based, inclusive)."""
+    text = make_writer().alignment_block(al).decode()
+    q_lines = [ln for ln in text.splitlines() if ln.startswith("Query ")]
+    s_lines = [ln for ln in text.splitlines() if ln.startswith("Sbjct ")]
+    assert q_lines and s_lines
+    first_q = int(q_lines[0].split()[1])
+    last_q = int(q_lines[-1].split()[-1])
+    assert first_q == al.qstart + 1
+    assert last_q == al.qend
+    first_s = int(s_lines[0].split()[1])
+    last_s = int(s_lines[-1].split()[-1])
+    assert first_s == al.sstart + 1
+    assert last_s == al.send
+
+
+@given(st.lists(alignments(), min_size=0, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_header_renderable_from_metadata_alone(als):
+    """Headers depend only on (defline, bits, evalue) triples — what the
+    workers ship — never on alignment bodies."""
+    w = make_writer()
+    from_alignments = w.query_header(
+        "q", 100,
+        [HitSummary(a.subject_defline, a.bit_score, a.evalue) for a in als],
+    )
+    stripped = [
+        HitSummary(a.subject_defline, a.bit_score, a.evalue) for a in als
+    ]
+    assert w.query_header("q", 100, stripped) == from_alignments
+    assert from_alignments.decode("utf-8")
+
+
+@given(st.lists(alignments(), min_size=1, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_offset_layout_reconstructs_concatenation(als):
+    """Laying out blocks by computed offsets and writing them into a
+    buffer must equal simple concatenation — the collective-write
+    correctness argument in miniature."""
+    w = make_writer()
+    blocks = [w.alignment_block(a) for a in als]
+    serial = b"".join(blocks)
+    # offset layout
+    buf = bytearray(len(serial))
+    off = 0
+    for b in blocks:
+        buf[off : off + len(b)] = b
+        off += len(b)
+    assert bytes(buf) == serial

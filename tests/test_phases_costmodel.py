@@ -1,0 +1,148 @@
+"""Phase breakdown accounting and the cost model."""
+
+import pytest
+
+from repro.blast.engine import SearchStats
+from repro.costmodel import PAPER_SCALE, UNIT_COSTS, CostModel
+from repro.parallel import breakdown_from_run, run_pioblast
+from repro.parallel.phases import PhaseBreakdown
+from repro.platforms import ORNL_ALTIX
+from repro.simmpi import PlatformSpec, run
+
+
+class TestCostModel:
+    def test_search_seconds_zero_for_empty_stats(self):
+        c = CostModel()
+        assert c.search_seconds(SearchStats(), nqueries=0) == 0.0
+
+    def test_search_seconds_scale_linear(self):
+        stats = SearchStats(letters_scanned=10**6, word_hits=1000,
+                            triggers=100, ungapped_extensions=50,
+                            gapped_extensions=5)
+        c1 = CostModel(compute_scale=1.0)
+        c2 = CostModel(compute_scale=4.0)
+        assert c2.search_seconds(stats, nqueries=3) == pytest.approx(
+            4 * c1.search_seconds(stats, nqueries=3)
+        )
+
+    def test_setup_cost_scales_with_fragments(self):
+        c = CostModel()
+        s = SearchStats()
+        one = c.search_seconds(s, nqueries=10, nfragments=1)
+        five = c.search_seconds(s, nqueries=10, nfragments=5)
+        assert five == pytest.approx(5 * one)
+
+    def test_data_scale_affects_result_costs_only(self):
+        a = CostModel(data_scale=1.0)
+        b = CostModel(data_scale=10.0)
+        assert b.render_seconds(100) == pytest.approx(
+            10 * a.render_seconds(100)
+        )
+        assert b.merge_seconds(7) == pytest.approx(10 * a.merge_seconds(7))
+        assert b.fetch_overhead_seconds() == pytest.approx(
+            10 * a.fetch_overhead_seconds()
+        )
+        s = SearchStats(letters_scanned=100)
+        assert b.search_seconds(s, nqueries=1) == a.search_seconds(
+            s, nqueries=1
+        )
+
+    def test_wire_bytes(self):
+        c = CostModel(data_scale=250.0, db_scale=6000.0)
+        assert c.wire_bytes(100) == 25_000
+        assert c.db_wire_bytes(100) == 600_000
+
+    def test_copy_chunk_overhead(self):
+        c = CostModel()
+        assert c.copy_chunk_overhead_seconds(
+            1024 * 1024, 0.001, chunk=256 * 1024
+        ) == pytest.approx(0.004)
+        assert c.copy_chunk_overhead_seconds(10, 0.001) == pytest.approx(
+            0.001
+        )
+
+    def test_scaled_copies(self):
+        c = UNIT_COSTS.scaled(compute=3.0, data=5.0, db=7.0)
+        assert (c.compute_scale, c.data_scale, c.db_scale) == (3.0, 5.0, 7.0)
+        assert UNIT_COSTS.compute_scale == 1.0  # original untouched
+
+    def test_paper_scale_sanity(self):
+        assert PAPER_SCALE.compute_scale > 1
+        assert PAPER_SCALE.db_scale > PAPER_SCALE.data_scale
+
+    def test_init_seconds(self):
+        c = CostModel(per_process_init=0.01, compute_scale=100.0)
+        assert c.init_seconds() == pytest.approx(1.0)
+
+
+class TestPhaseBreakdown:
+    def _run(self):
+        def prog(ctx):
+            with ctx.phase("copy"):
+                ctx.compute(1.0)
+            with ctx.phase("search"):
+                ctx.compute(2.0 + ctx.rank)
+            with ctx.phase("output"):
+                ctx.compute(0.5)
+            ctx.compute(0.25)  # unattributed -> "other"
+            ctx.comm.barrier()
+
+        return run(3, prog, PlatformSpec())
+
+    def test_breakdown_fields(self):
+        b = breakdown_from_run("x", self._run())
+        assert b.copy_input == pytest.approx(1.0)
+        assert b.search == pytest.approx(4.0)  # max over ranks
+        assert b.output == pytest.approx(0.5)
+        assert b.total == pytest.approx(b.copy_input + b.search + b.output
+                                        + b.other, abs=1e-6)
+        assert b.other > 0
+
+    def test_search_share(self):
+        b = PhaseBreakdown("p", 4, 1.0, 8.0, 1.0, 0.0, 10.0)
+        assert b.search_share == pytest.approx(0.8)
+        assert b.non_search == pytest.approx(2.0)
+
+    def test_row_dict(self):
+        b = PhaseBreakdown("p", 4, 1.0, 2.0, 3.0, 4.0, 10.0)
+        assert b.row() == {
+            "copy_input": 1.0,
+            "search": 2.0,
+            "output": 3.0,
+            "other": 4.0,
+            "total": 10.0,
+        }
+
+    def test_input_and_copy_both_counted(self):
+        def prog(ctx):
+            with ctx.phase("input"):
+                ctx.compute(1.0)
+            with ctx.phase("copy"):
+                ctx.compute(2.0)
+
+        b = breakdown_from_run("x", run(2, prog, PlatformSpec()))
+        assert b.copy_input == pytest.approx(3.0)
+
+    def test_zero_total_share(self):
+        b = PhaseBreakdown("p", 1, 0, 0, 0, 0, 0)
+        assert b.search_share == 0.0
+
+
+class TestDriverPhases:
+    def test_pioblast_records_expected_phases(self, staged):
+        store, cfg = staged
+        res = run_pioblast(4, store, cfg, ORNL_ALTIX)
+        phases = {k for p in res.phase_times for k in p}
+        assert {"input", "search", "output"} <= phases
+
+    def test_mpiblast_records_expected_phases(self, staged):
+        from repro.parallel import mpiformatdb, run_mpiblast
+
+        store, cfg = staged
+        mpiformatdb(store, cfg.db_name, 3)
+        res = run_mpiblast(4, store, cfg, ORNL_ALTIX)
+        phases = {k for p in res.phase_times for k in p}
+        assert {"copy", "search", "output"} <= phases
+        # master owns output; workers own copy/search
+        assert "output" in res.phase_times[0]
+        assert "copy" in res.phase_times[1]

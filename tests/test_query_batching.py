@@ -1,0 +1,95 @@
+"""Query batching / pipelined output (§5 future work, implemented)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.costmodel import CostModel
+from repro.parallel import ParallelConfig, run_pioblast, stage_inputs
+from repro.simmpi import FileStore
+
+
+class TestBatchArithmetic:
+    def test_zero_means_one_round(self):
+        assert ParallelConfig(query_batch=0).query_batches(7) == [(0, 7)]
+
+    def test_batch_bigger_than_queries(self):
+        assert ParallelConfig(query_batch=99).query_batches(7) == [(0, 7)]
+
+    def test_even_split(self):
+        assert ParallelConfig(query_batch=3).query_batches(9) == [
+            (0, 3), (3, 6), (6, 9)
+        ]
+
+    def test_ragged_tail(self):
+        assert ParallelConfig(query_batch=4).query_batches(10) == [
+            (0, 4), (4, 8), (8, 10)
+        ]
+
+    def test_batches_cover_exactly(self):
+        for qb in (1, 2, 3, 5, 8):
+            batches = ParallelConfig(query_batch=qb).query_batches(13)
+            flat = [i for lo, hi in batches for i in range(lo, hi)]
+            assert flat == list(range(13))
+
+
+class TestBatchedRuns:
+    @pytest.fixture()
+    def make_staged(self, small_db, small_queries):
+        def _make(**cfg_kwargs):
+            store = FileStore()
+            cfg = ParallelConfig(cost=CostModel(), **cfg_kwargs)
+            cfg = stage_inputs(store, small_db, small_queries, config=cfg,
+                               title="test nr")
+            return store, cfg
+
+        return _make
+
+    @pytest.mark.parametrize("batch", [1, 2, 5])
+    def test_output_identical_across_batch_sizes(
+        self, make_staged, serial_reference, batch
+    ):
+        store, cfg = make_staged(query_batch=batch)
+        run_pioblast(4, store, cfg)
+        assert store.read_all(cfg.output_path) == serial_reference
+
+    def test_batching_composes_with_pruning(
+        self, make_staged, serial_reference
+    ):
+        store, cfg = make_staged(query_batch=3, early_score_pruning=True)
+        run_pioblast(4, store, cfg)
+        assert store.read_all(cfg.output_path) == serial_reference
+
+    def test_batching_composes_with_serialized_output(
+        self, make_staged, serial_reference
+    ):
+        store, cfg = make_staged(query_batch=3, collective_output=False)
+        run_pioblast(4, store, cfg)
+        assert store.read_all(cfg.output_path) == serial_reference
+
+    def test_batching_composes_with_adaptive_granularity(
+        self, make_staged, serial_reference
+    ):
+        store, cfg = make_staged(query_batch=4, adaptive_granularity=True)
+        run_pioblast(4, store, cfg)
+        assert store.read_all(cfg.output_path) == serial_reference
+
+    def test_more_collective_writes_with_smaller_batches(
+        self, make_staged
+    ):
+        """One collective write per round: fs write-op count reflects the
+        pipelining."""
+        store1, cfg1 = make_staged(query_batch=0)
+        r1 = run_pioblast(4, store1, cfg1)
+        store2, cfg2 = make_staged(query_batch=2)
+        r2 = run_pioblast(4, store2, cfg2)
+        assert r2.fs_write_ops > r1.fs_write_ops
+
+    def test_batch_size_one_is_fully_pipelined(
+        self, make_staged, serial_reference, small_queries
+    ):
+        store, cfg = make_staged(query_batch=1)
+        res = run_pioblast(3, store, cfg)
+        assert store.read_all(cfg.output_path) == serial_reference
+        # One write round per query (plus none extra).
+        assert res.fs_write_ops >= len(small_queries)

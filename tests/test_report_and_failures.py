@@ -1,0 +1,79 @@
+"""Report assembly and failure propagation through the stack."""
+
+import pytest
+
+from repro.experiments.report import (
+    SECTION_ORDER,
+    assemble_report,
+    collect_results,
+    missing_experiments,
+)
+from repro.simmpi.engine import ProcessFailure
+
+
+class TestReportAssembly:
+    def test_empty_dir(self, tmp_path):
+        text = assemble_report(tmp_path)
+        assert "no archived results" in text
+
+    def test_nonexistent_dir(self, tmp_path):
+        assert collect_results(tmp_path / "nope") == {}
+
+    def test_ordering_follows_paper(self, tmp_path):
+        (tmp_path / "fig4.txt").write_text("FIG4 TABLE\n")
+        (tmp_path / "table1.txt").write_text("TABLE1 TABLE\n")
+        text = assemble_report(tmp_path)
+        assert text.index("TABLE1 TABLE") < text.index("FIG4 TABLE")
+
+    def test_unknown_results_appended(self, tmp_path):
+        (tmp_path / "custom_sweep.txt").write_text("CUSTOM\n")
+        assert "CUSTOM" in assemble_report(tmp_path)
+
+    def test_missing_experiments_listed(self, tmp_path):
+        (tmp_path / "table1.txt").write_text("x\n")
+        missing = missing_experiments(tmp_path)
+        assert "table1" not in missing
+        assert "fig4" in missing
+        assert len(missing) == len(SECTION_ORDER) - 1
+
+
+class TestFailurePropagation:
+    def test_worker_crash_surfaces_rank_and_cause(self, staged):
+        """A corrupted database file must fail the run loudly, not hang,
+        and identify the failing rank."""
+        from repro.parallel import run_pioblast
+
+        store, cfg = staged
+        # Truncate the sequence file: workers' slice checks must throw.
+        data = store.read_all(f"{cfg.db_name}.xsq")
+        store.delete(f"{cfg.db_name}.xsq")
+        store.write(f"{cfg.db_name}.xsq", 0, data[: len(data) // 2])
+        with pytest.raises(ProcessFailure):
+            run_pioblast(4, store, cfg)
+
+    def test_missing_query_file(self, staged):
+        from dataclasses import replace
+
+        from repro.parallel import run_pioblast
+
+        store, cfg = staged
+        bad = replace(cfg, query_path="nonexistent.fasta")
+        with pytest.raises(ProcessFailure) as ei:
+            run_pioblast(3, store, bad)
+        assert ei.value.rank == 0  # the master reads the queries
+
+    def test_missing_fragments_fail_mpiblast(self, staged):
+        """mpiBLAST without mpiformatdb pre-partitioning must fail —
+        the operational requirement pioBLAST removes."""
+        from repro.parallel import run_mpiblast
+
+        store, cfg = staged
+        with pytest.raises(ProcessFailure):
+            run_mpiblast(4, store, cfg)
+
+    def test_pioblast_needs_no_fragments(self, staged, serial_reference):
+        from repro.parallel import run_pioblast
+
+        store, cfg = staged
+        run_pioblast(4, store, cfg)  # same store, no mpiformatdb: fine
+        assert store.read_all(cfg.output_path) == serial_reference

@@ -1,0 +1,123 @@
+"""Result metadata, merge selection, and early-score pruning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast.hsp import Alignment
+from repro.parallel.pruning import cutline, prune_metas, score_cutlines
+from repro.parallel.results import (
+    AlignmentMeta,
+    merge_select,
+    meta_from_alignment,
+)
+
+
+def meta(score, oid, evalue=None, owner=1, local_id=0, qstart=0, send=10):
+    return AlignmentMeta(
+        query_index=0,
+        owner_rank=owner,
+        local_id=local_id,
+        score=score,
+        evalue=evalue if evalue is not None else 10.0 ** (-score / 10),
+        bit_score=score * 0.4,
+        subject_oid=oid,
+        qstart=qstart,
+        send=send,
+        subject_defline=f"s{oid}",
+        block_nbytes=100,
+    )
+
+
+class TestMergeSelect:
+    def test_orders_by_score_desc(self):
+        ms = [meta(10, 1), meta(90, 2), meta(50, 3)]
+        out = merge_select(ms, 10)
+        assert [m.score for m in out] == [90, 50, 10]
+
+    def test_caps(self):
+        ms = [meta(s, i) for i, s in enumerate(range(100, 0, -10))]
+        assert len(merge_select(ms, 3)) == 3
+
+    def test_tie_break_by_oid(self):
+        out = merge_select([meta(50, 9), meta(50, 2)], 10)
+        assert [m.subject_oid for m in out] == [2, 9]
+
+    def test_meta_orders_like_alignment(self):
+        """AlignmentMeta.sort_key must agree with Alignment.sort_key —
+        the invariant that makes metadata-only merging exact."""
+        al = Alignment(
+            query_index=0, subject_oid=4, subject_defline="d",
+            subject_length=10, score=77, bit_score=30.0, evalue=1e-8,
+            qstart=3, qend=9, sstart=0, send=6, aligned_query="A",
+            midline="A", aligned_subject="A", identities=1, positives=1,
+            gaps=0,
+        )
+        m = meta_from_alignment(al, owner_rank=2, local_id=5,
+                                block_nbytes=123)
+        assert m.sort_key() == al.sort_key()
+        assert m.block_nbytes == 123 and m.owner_rank == 2
+
+
+class TestCutlines:
+    def test_merge_keeps_topk(self):
+        a = {0: [90, 50]}
+        b = {0: [70, 60], 1: [10]}
+        out = score_cutlines(a, b, 3)
+        assert out[0] == [90, 70, 60]
+        assert out[1] == [10]
+
+    def test_associative(self):
+        a, b, c = {0: [9, 5]}, {0: [8]}, {0: [7, 6]}
+        left = score_cutlines(score_cutlines(a, b, 3), c, 3)
+        right = score_cutlines(a, score_cutlines(b, c, 3), 3)
+        assert left == right
+
+    def test_cutline_none_below_k(self):
+        assert cutline([9, 8], 3) is None
+
+    def test_cutline_is_kth_best(self):
+        assert cutline([9, 8, 7, 6], 3) == 7
+
+    def test_prune_drops_strictly_below(self):
+        metas = [[meta(9, 0), meta(7, 1), meta(6, 2)]]
+        cuts = {0: [9, 8, 7]}
+        out = prune_metas(metas, cuts, 3)
+        assert [m.score for m in out[0]] == [9, 7]
+
+    def test_prune_noop_without_cut(self):
+        metas = [[meta(5, 0)]]
+        out = prune_metas(metas, {}, 3)
+        assert out == metas
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=500), max_size=30),
+        min_size=1,
+        max_size=6,
+    ),
+    st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=80, deadline=None)
+def test_pruning_never_changes_selection(worker_scores, k):
+    """Property: local pruning with the global cut line is invisible in
+    the final merged top-k (the §5 safety argument)."""
+    metas_by_worker = [
+        [meta(s, oid=w * 1000 + i, owner=w, local_id=i)
+         for i, s in enumerate(scores)]
+        for w, scores in enumerate(worker_scores)
+    ]
+    # global selection without pruning
+    everything = [m for ms in metas_by_worker for m in ms]
+    want = merge_select(everything, k)
+
+    # allreduce the cut lines, prune each worker locally, merge
+    cuts: dict = {}
+    for ms in metas_by_worker:
+        cuts = score_cutlines(cuts, {0: sorted((m.score for m in ms),
+                                               reverse=True)[:k]}, k)
+    pruned = [
+        prune_metas([ms], cuts, k)[0] for ms in metas_by_worker
+    ]
+    got = merge_select([m for ms in pruned for m in ms], k)
+    assert [m.sort_key() for m in got] == [m.sort_key() for m in want]

@@ -1,0 +1,178 @@
+"""Word seeding: index construction, scanning, two-hit logic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast.alphabet import DNA, PROTEIN
+from repro.blast.matrices import blosum62, dna_matrix
+from repro.blast.seeding import (
+    SeedStats,
+    WordIndex,
+    one_hit_triggers,
+    two_hit_triggers,
+)
+
+
+def make_index(seq: str, threshold: int = 11) -> WordIndex:
+    return WordIndex(
+        PROTEIN.encode(seq),
+        blosum62(),
+        word_size=3,
+        threshold=threshold,
+        nstd=20,
+    )
+
+
+class TestWordIndexProtein:
+    def test_identity_word_always_in_neighbourhood(self):
+        # Self-score of common words exceeds T=11 for most triples; use
+        # a word with a high self-score (WWW = 33).
+        idx = make_index("WWWAAA")
+        q = PROTEIN.encode("WWW")
+        spos, qpos = idx.find_hits(q)
+        assert (qpos == 0).any()
+
+    def test_low_selfscore_word_excluded_at_high_threshold(self):
+        # AAA self-score is 12; with T=13 the identity word is excluded.
+        idx = make_index("AAA", threshold=13)
+        spos, qpos = idx.find_hits(PROTEIN.encode("AAA"))
+        assert len(spos) == 0
+
+    def test_neighbourhood_matches_bruteforce(self):
+        seq = "MKVLAWYQ"
+        idx = make_index(seq)
+        m = blosum62()[:20, :20]
+        q = PROTEIN.encode(seq)
+        # brute force neighbourhood of position 2 (VLA)
+        a, b, c = int(q[2]), int(q[3]), int(q[4])
+        scores = (
+            m[a][:, None, None] + m[b][None, :, None] + m[c][None, None, :]
+        )
+        expected = int((scores >= 11).sum())
+        count = 0
+        for code in range(8000):
+            s, e = idx.indptr[code], idx.indptr[code + 1]
+            count += int((idx.data[s:e] == 2).sum())
+        assert count == expected
+
+    def test_wildcard_query_word_skipped(self):
+        idx = make_index("MKXLA")  # words containing X are skipped
+        # positions 0,1,2 contain X; no position 0..2 indexed
+        present = set(idx.data.tolist())
+        assert 0 not in present and 1 not in present and 2 not in present
+
+    def test_short_query_has_empty_index(self):
+        idx = make_index("MK")
+        assert idx.total_entries == 0
+
+    def test_subject_wildcards_not_scanned(self):
+        idx = make_index("MKVLAW")
+        s = PROTEIN.encode("MKXVLA")  # X at 2 invalidates words at 0,1,2
+        pos, codes = idx.subject_codes(s)
+        assert 0 not in pos and 1 not in pos and 2 not in pos
+
+    def test_hits_sorted_by_subject_position(self):
+        idx = make_index("MKVLAWMKVLAW")
+        s = PROTEIN.encode("MKVLAWMKVLAW")
+        spos, qpos = idx.find_hits(s)
+        assert (np.diff(spos) >= 0).all()
+
+    def test_stats_counted(self):
+        idx = make_index("MKVLAW")
+        stats = SeedStats()
+        idx.find_hits(PROTEIN.encode("MKVLAWMKVLAW"), stats)
+        assert stats.positions_scanned == 12
+        assert stats.word_hits > 0
+
+
+class TestWordIndexDna:
+    def test_exact_word_match_only(self):
+        q = DNA.encode("ACGTACGTACGTACG")
+        idx = WordIndex(q, dna_matrix(), word_size=11, threshold=0, nstd=4,
+                        exact_only=True)
+        spos, qpos = idx.find_hits(q)
+        # every position matches itself on the diagonal
+        assert all((qp - sp) % 4 == 0 for sp, qp in zip(spos, qpos))
+        diag0 = [(sp, qp) for sp, qp in zip(spos, qpos) if sp == qp]
+        assert len(diag0) == len(q) - 11 + 1
+
+    def test_mutation_breaks_words(self):
+        q = DNA.encode("ACGTACGTACGTACGTT")
+        idx = WordIndex(q, dna_matrix(), word_size=11, threshold=0, nstd=4,
+                        exact_only=True)
+        s = DNA.encode("ACGTACGTACGAACGTT")  # mutation at pos 11
+        spos, _ = idx.find_hits(s)
+        # words overlapping position 11 cannot match exactly
+        assert len(spos) < len(q) - 10
+
+
+class TestTwoHit:
+    def test_pair_within_window_triggers(self):
+        spos = np.array([0, 10])
+        qpos = np.array([5, 15])  # same diagonal 5
+        trig = two_hit_triggers(spos, qpos, window=40, word_size=3)
+        assert trig == [(15, 10)]
+
+    def test_overlapping_pair_does_not_trigger(self):
+        spos = np.array([0, 2])
+        qpos = np.array([5, 7])  # distance 2 < word_size
+        assert two_hit_triggers(spos, qpos, window=40, word_size=3) == []
+
+    def test_beyond_window_does_not_trigger(self):
+        spos = np.array([0, 100])
+        qpos = np.array([5, 105])
+        assert two_hit_triggers(spos, qpos, window=40, word_size=3) == []
+
+    def test_different_diagonals_do_not_pair(self):
+        spos = np.array([0, 10])
+        qpos = np.array([5, 16])  # diagonals 5 and 6
+        assert two_hit_triggers(spos, qpos, window=40, word_size=3) == []
+
+    def test_dense_identity_run_triggers(self):
+        """Consecutive overlapping hits (distance 1) must still produce
+        triggers from non-adjacent pairs — the self-hit regression."""
+        n = 30
+        spos = np.arange(n)
+        qpos = np.arange(n)
+        trig = two_hit_triggers(spos, qpos, window=40, word_size=3)
+        # every position >= word_size has an earlier hit at distance in
+        # [3, 40]
+        assert len(trig) == n - 3
+
+    def test_empty_input(self):
+        assert two_hit_triggers(np.array([]), np.array([]), window=40,
+                                word_size=3) == []
+
+    def test_one_hit_mode_triggers_everything(self):
+        spos = np.array([3, 1])
+        qpos = np.array([7, 2])
+        trig = one_hit_triggers(spos, qpos)
+        assert sorted(trig) == [(2, 1), (7, 3)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 300), st.integers(0, 300)),
+            min_size=0,
+            max_size=80,
+            unique=True,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, pairs):
+        if pairs:
+            spos = np.array([p[0] for p in pairs])
+            qpos = np.array([p[1] for p in pairs])
+        else:
+            spos = np.array([], dtype=np.int64)
+            qpos = np.array([], dtype=np.int64)
+        trig = set(two_hit_triggers(spos, qpos, window=40, word_size=3))
+        expected = set()
+        for sp, qp in pairs:
+            d = qp - sp
+            for sp2, qp2 in pairs:
+                if qp2 - sp2 == d and 3 <= sp - sp2 <= 40:
+                    expected.add((qp, sp))
+                    break
+        assert trig == expected

@@ -1,0 +1,201 @@
+"""Filesystem models: byte accuracy and timing behaviour."""
+
+import pytest
+
+from repro.simmpi import (
+    FileStore,
+    LocalDisk,
+    NFSFilesystem,
+    ParallelFS,
+    PlatformSpec,
+    run,
+)
+from repro.simmpi.engine import Engine, SimError
+
+
+class TestFileStore:
+    def test_write_read_round_trip(self):
+        fs = FileStore()
+        fs.write("a/b", 0, b"hello")
+        assert fs.read("a/b") == b"hello"
+
+    def test_offset_write_extends_with_zeros(self):
+        fs = FileStore()
+        fs.write("f", 5, b"xy")
+        assert fs.read("f") == b"\x00" * 5 + b"xy"
+        assert fs.size("f") == 7
+
+    def test_overwrite_middle(self):
+        fs = FileStore()
+        fs.write("f", 0, b"abcdef")
+        fs.write("f", 2, b"XY")
+        assert fs.read("f") == b"abXYef"
+
+    def test_partial_read(self):
+        fs = FileStore()
+        fs.write("f", 0, b"abcdef")
+        assert fs.read("f", 2, 3) == b"cde"
+
+    def test_read_out_of_bounds_rejected(self):
+        fs = FileStore()
+        fs.write("f", 0, b"abc")
+        with pytest.raises(SimError):
+            fs.read("f", 1, 10)
+
+    def test_missing_file_raises(self):
+        with pytest.raises(FileNotFoundError):
+            FileStore().read("nope")
+
+    def test_append_returns_offset(self):
+        fs = FileStore()
+        assert fs.append("f", b"ab") == 0
+        assert fs.append("f", b"cd") == 2
+        assert fs.read("f") == b"abcd"
+
+    def test_listdir_prefix(self):
+        fs = FileStore()
+        fs.write("x/a", 0, b"")
+        fs.write("x/b", 0, b"")
+        fs.write("y/c", 0, b"")
+        assert fs.listdir("x/") == ["x/a", "x/b"]
+
+    def test_delete(self):
+        fs = FileStore()
+        fs.write("f", 0, b"x")
+        fs.delete("f")
+        assert not fs.exists("f")
+
+    def test_total_bytes(self):
+        fs = FileStore()
+        fs.write("a", 0, b"xx")
+        fs.write("b", 0, b"yyy")
+        assert fs.total_bytes() == 5
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(SimError):
+            FileStore().write("f", -1, b"x")
+
+
+class TestTimedModels:
+    def _timed_read(self, fs_cls, nbytes, n_readers=1, **kw):
+        eng = Engine()
+        fs = fs_cls(eng, **kw)
+        fs.store.write("f", 0, b"z" * nbytes)
+        times = {}
+
+        def prog(i):
+            def body():
+                fs.read("f")
+                times[i] = eng.now
+
+            return body
+
+        for i in range(n_readers):
+            eng.spawn(prog(i), i)
+        eng.run()
+        return times, fs
+
+    def test_parallel_fs_faster_than_nfs(self):
+        t_par, _ = self._timed_read(ParallelFS, 50_000_000)
+        t_nfs, _ = self._timed_read(NFSFilesystem, 50_000_000)
+        assert t_par[0] < t_nfs[0]
+
+    def test_parallel_fs_scales_with_readers(self):
+        """Aggregate throughput grows until capacity is saturated."""
+        one, _ = self._timed_read(ParallelFS, 100_000_000, n_readers=1)
+        four, _ = self._timed_read(ParallelFS, 100_000_000, n_readers=4)
+        # 4 concurrent 100MB reads take less than 4x a single one
+        assert four[3] < 4 * one[0]
+
+    def test_nfs_serializes_readers(self):
+        """NFS: n concurrent readers each see ~n-fold slowdown."""
+        one, _ = self._timed_read(NFSFilesystem, 10_000_000, n_readers=1)
+        four, _ = self._timed_read(NFSFilesystem, 10_000_000, n_readers=4)
+        assert four[3] >= 3.5 * one[0]
+
+    def test_charge_bytes_overrides_timing_not_data(self):
+        eng = Engine()
+        fs = ParallelFS(eng)
+        fs.store.write("f", 0, b"ab")
+        out = {}
+
+        def prog():
+            data = fs.read("f", charge_bytes=400_000_000)
+            out["data"] = data
+            out["t"] = eng.now
+
+        eng.spawn(prog, 0)
+        eng.run()
+        assert out["data"] == b"ab"
+        assert out["t"] >= 1.0  # 400MB at 350-400MB/s
+
+    def test_op_overhead_charged(self):
+        eng = Engine()
+        fs = NFSFilesystem(eng, op_overhead=0.5)
+        fs.store.write("f", 0, b"x")
+        t = {}
+
+        def prog():
+            fs.read("f")
+            t["t"] = eng.now
+
+        eng.spawn(prog, 0)
+        eng.run()
+        assert t["t"] >= 0.5
+
+    def test_ops_counted(self):
+        eng = Engine()
+        fs = ParallelFS(eng)
+
+        def prog():
+            fs.write("f", 0, b"abc")
+            fs.read("f")
+            fs.append("f", b"d")
+
+        eng.spawn(prog, 0)
+        eng.run()
+        assert fs.write_ops == 2 and fs.read_ops == 1
+        assert fs.store.read("f") == b"abcd"
+
+    def test_local_disk_private_namespaces(self):
+        eng = Engine()
+        d1 = LocalDisk(eng, name="d1")
+        d2 = LocalDisk(eng, name="d2")
+
+        def prog():
+            d1.write("f", 0, b"one")
+            d2.write("f", 0, b"two")
+
+        eng.spawn(prog, 0)
+        eng.run()
+        assert d1.store.read("f") == b"one"
+        assert d2.store.read("f") == b"two"
+
+
+class TestPlatformFactory:
+    def test_parallel_kind(self):
+        eng = Engine()
+        spec = PlatformSpec(shared_fs_kind="parallel")
+        assert isinstance(spec.make_shared_fs(eng), ParallelFS)
+
+    def test_nfs_kind(self):
+        eng = Engine()
+        spec = PlatformSpec(shared_fs_kind="nfs")
+        assert isinstance(spec.make_shared_fs(eng), NFSFilesystem)
+
+    def test_unknown_kind(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            PlatformSpec(shared_fs_kind="lustre").make_shared_fs(eng)
+
+    def test_run_prepopulates_store(self):
+        store = FileStore()
+        store.write("input", 0, b"payload")
+
+        def prog(ctx):
+            assert ctx.fs.read("input") == b"payload"
+            ctx.fs.write(f"out/{ctx.rank}", 0, bytes([ctx.rank]))
+
+        res = run(3, prog, PlatformSpec(), shared_store=store)
+        assert res.store is store
+        assert store.read("out/2") == b"\x02"

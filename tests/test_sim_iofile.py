@@ -1,0 +1,170 @@
+"""MPI-IO layer: views, collective writes/reads, data placement."""
+
+import pytest
+
+from repro.simmpi import (
+    FileStore,
+    FileView,
+    MPIFile,
+    PlatformSpec,
+    run,
+)
+from repro.simmpi.engine import SimError
+
+
+def launch(n, fn, store=None):
+    return run(n, fn, PlatformSpec(), shared_store=store or FileStore())
+
+
+class TestIndividualIO:
+    def test_write_then_read_at(self):
+        def prog(ctx):
+            f = MPIFile(ctx.comm, ctx.fs, "data")
+            if ctx.rank == 0:
+                f.write_at(10, b"hello")
+            ctx.comm.barrier()
+            if ctx.rank == 1:
+                assert f.read_at(10, 5) == b"hello"
+
+        launch(2, prog)
+
+    def test_disjoint_parallel_writes(self):
+        store = FileStore()
+
+        def prog(ctx):
+            f = MPIFile(ctx.comm, ctx.fs, "data")
+            f.write_at(ctx.rank * 4, bytes([ctx.rank]) * 4)
+
+        launch(4, prog, store)
+        assert store.read("data") == b"".join(bytes([r]) * 4 for r in range(4))
+
+
+class TestFileView:
+    def test_total_bytes(self):
+        v = FileView(regions=[(0, 10), (50, 5)])
+        assert v.total_bytes == 15
+
+    def test_validation(self):
+        with pytest.raises(SimError):
+            FileView(regions=[(-1, 10)]).validate()
+        with pytest.raises(SimError):
+            FileView(regions=[(0, -5)]).validate()
+
+
+class TestCollectiveWrite:
+    def test_interleaved_regions_land_correctly(self):
+        store = FileStore()
+
+        def prog(ctx):
+            f = MPIFile(ctx.comm, ctx.fs, "out")
+            n = ctx.size
+            v = FileView(
+                regions=[(ctx.rank * 3, 3), ((n + ctx.rank) * 3, 3)]
+            )
+            f.set_view(v)
+            f.write_at_all([bytes([ctx.rank]) * 3, bytes([64 + ctx.rank]) * 3])
+
+        launch(4, prog, store)
+        expect = b"".join(bytes([r]) * 3 for r in range(4)) + b"".join(
+            bytes([64 + r]) * 3 for r in range(4)
+        )
+        assert store.read("out") == expect
+
+    def test_mismatched_buffer_count_rejected(self):
+        def prog(ctx):
+            f = MPIFile(ctx.comm, ctx.fs, "out")
+            f.set_view(FileView(regions=[(0, 3)]))
+            with pytest.raises(SimError):
+                f.write_at_all([b"abc", b"extra"])
+            f.set_view(FileView(regions=[]))
+            f.write_at_all([])  # recover collectively
+
+        launch(2, prog)
+
+    def test_wrong_buffer_size_rejected(self):
+        def prog(ctx):
+            f = MPIFile(ctx.comm, ctx.fs, "out")
+            f.set_view(FileView(regions=[(0, 3)]))
+            with pytest.raises(SimError):
+                f.write_at_all([b"toolong!"])
+            f.set_view(FileView(regions=[]))
+            f.write_at_all([])
+
+        launch(1, prog)
+
+    def test_collective_is_a_barrier(self):
+        def prog(ctx):
+            ctx.engine.sleep(float(ctx.rank))
+            f = MPIFile(ctx.comm, ctx.fs, "out")
+            f.set_view(FileView(regions=[(ctx.rank, 1)]))
+            f.write_at_all([bytes([ctx.rank])])
+            assert ctx.now >= ctx.size - 1  # waited for the slowest
+
+        launch(4, prog)
+
+    def test_collective_faster_than_serial_master(self):
+        """The §3.3 claim at model level: N ranks writing 1/N each
+        collectively beat one rank writing everything serially in many
+        small writes."""
+        nblocks, bsize, n = 64, 200_000, 8
+
+        def collective(ctx):
+            f = MPIFile(ctx.comm, ctx.fs, "out")
+            mine = [
+                (i * bsize, bsize)
+                for i in range(nblocks)
+                if i % ctx.size == ctx.rank
+            ]
+            f.set_view(FileView(regions=mine))
+            f.write_at_all([b"x" * bsize] * len(mine))
+
+        def serial(ctx):
+            if ctx.rank == 0:
+                for i in range(nblocks):
+                    ctx.fs.write("out", i * bsize, b"x" * bsize)
+            ctx.comm.barrier()
+
+        rc = launch(n, collective)
+        rs = launch(n, serial)
+        assert rc.makespan < rs.makespan
+
+    def test_data_scale_affects_time_not_bytes(self):
+        store1, store2 = FileStore(), FileStore()
+
+        def prog_scaled(ctx):
+            f = MPIFile(ctx.comm, ctx.fs, "out")
+            f.set_view(FileView(regions=[(ctx.rank * 2, 2)]))
+            f.write_at_all([b"ab"], data_scale=1e6)
+
+        def prog_plain(ctx):
+            f = MPIFile(ctx.comm, ctx.fs, "out")
+            f.set_view(FileView(regions=[(ctx.rank * 2, 2)]))
+            f.write_at_all([b"ab"])
+
+        r1 = launch(2, prog_scaled, store1)
+        r2 = launch(2, prog_plain, store2)
+        assert store1.read("out") == store2.read("out")
+        assert r1.makespan > r2.makespan
+
+
+class TestCollectiveRead:
+    def test_read_at_all_returns_regions(self):
+        store = FileStore()
+        store.write("in", 0, bytes(range(40)))
+
+        def prog(ctx):
+            f = MPIFile(ctx.comm, ctx.fs, "in")
+            v = FileView(regions=[(ctx.rank * 10, 10)])
+            out = f.read_at_all(v)
+            assert out == [bytes(range(ctx.rank * 10, ctx.rank * 10 + 10))]
+
+        launch(4, prog, store)
+
+    def test_size(self):
+        store = FileStore()
+        store.write("f", 0, b"12345")
+
+        def prog(ctx):
+            assert MPIFile(ctx.comm, ctx.fs, "f").size() == 5
+
+        launch(1, prog, store)

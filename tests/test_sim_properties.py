@@ -1,0 +1,184 @@
+"""Property-based validation of the simulator against reference models.
+
+- The processor-sharing pipe is checked against an exact fluid
+  reference simulation over random job sets.
+- Point-to-point messaging is checked for per-(source, tag) FIFO and
+  no-loss over random schedules.
+- Virtual time is checked monotone per rank over random programs.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import NetworkModel, PlatformSpec, run
+from repro.simmpi.engine import Engine
+from repro.simmpi.resource import SharedBandwidth
+
+
+def fluid_reference(capacity, per_stream, jobs):
+    """Exact event-driven fluid processor-sharing reference.
+
+    jobs: list of (arrival, size).  Returns finish times.
+    """
+    n = len(jobs)
+    remaining = [float(sz) for _, sz in jobs]
+    finish = [None] * n
+    t = 0.0
+    pending = sorted(range(n), key=lambda i: jobs[i][0])
+    active: set[int] = set()
+    pi = 0
+    while pi < n or active:
+        rate = (
+            min(capacity / len(active), per_stream) if active else 0.0
+        )
+        # next event: arrival or earliest completion
+        t_arr = jobs[pending[pi]][0] if pi < n else float("inf")
+        t_fin = float("inf")
+        if active and rate > 0:
+            t_fin = t + min(remaining[i] for i in active) / rate
+        if t_arr <= t_fin:
+            # advance to arrival
+            dt = t_arr - t
+            for i in active:
+                remaining[i] -= rate * dt
+            t = t_arr
+            active.add(pending[pi])
+            pi += 1
+        else:
+            dt = t_fin - t
+            done = []
+            for i in active:
+                remaining[i] -= rate * dt
+                if remaining[i] <= 1e-9:
+                    done.append(i)
+            t = t_fin
+            for i in done:
+                active.discard(i)
+                finish[i] = t
+        # zero-size jobs
+        for i in list(active):
+            if remaining[i] <= 1e-9:
+                active.discard(i)
+                finish[i] = t
+    return finish
+
+
+_jobs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20.0),
+        st.floats(min_value=0.0, max_value=500.0),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(
+    _jobs,
+    st.floats(min_value=1.0, max_value=200.0),
+    st.floats(min_value=0.5, max_value=200.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_shared_bandwidth_matches_fluid_reference(jobs, capacity, cap_frac):
+    per_stream = min(cap_frac, capacity)
+    eng = Engine()
+    pipe = SharedBandwidth(eng, capacity, per_stream)
+    finish = {}
+
+    def prog(i, delay, nbytes):
+        def body():
+            eng.sleep(delay)
+            pipe.transfer(nbytes)
+            finish[i] = eng.now
+
+        return body
+
+    for i, (d, b) in enumerate(jobs):
+        eng.spawn(prog(i, d, b), i)
+    eng.run()
+    want = fluid_reference(capacity, per_stream, jobs)
+    for i, (d, b) in enumerate(jobs):
+        expect = want[i] if want[i] is not None else d
+        assert abs(finish[i] - expect) < 1e-5 * max(expect, 1.0), (
+            i, finish[i], expect,
+        )
+
+
+_msg_plan = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # sender
+        st.integers(min_value=0, max_value=3),  # tag
+        st.integers(min_value=0, max_value=2000),  # payload size
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(_msg_plan)
+@settings(max_examples=40, deadline=None)
+def test_messages_fifo_and_lossless(plan):
+    """All messages arrive exactly once, FIFO per (source, tag)."""
+    nsenders = 3
+    spec = PlatformSpec(
+        network=NetworkModel(latency=1e-5, bandwidth=1e8, overhead=1e-6,
+                             eager_threshold=500)
+    )
+    by_sender = {s: [] for s in range(nsenders)}
+    for seq, (s, tag, size) in enumerate(plan):
+        by_sender[s].append((seq, tag, size))
+
+    received = []
+
+    def prog(ctx):
+        if ctx.rank < nsenders:
+            for seq, tag, size in by_sender[ctx.rank]:
+                ctx.comm.send((seq, bytes(size)), dest=nsenders, tag=tag)
+        else:
+            from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, Status
+
+            for _ in range(len(plan)):
+                stt = Status()
+                seq, _payload = ctx.comm.recv(
+                    source=ANY_SOURCE, tag=ANY_TAG, status=stt
+                )
+                received.append((stt.source, stt.tag, seq))
+
+    run(nsenders + 1, prog, spec)
+    assert len(received) == len(plan)
+    assert sorted(r[2] for r in received) == list(range(len(plan)))
+    # FIFO per (source, tag): sequence numbers increase.
+    for s in range(nsenders):
+        for tag in range(4):
+            seqs = [r[2] for r in received if r[0] == s and r[1] == tag]
+            assert seqs == sorted(seqs)
+
+
+@given(
+    st.lists(
+        st.lists(st.floats(min_value=0.0, max_value=2.0), min_size=1,
+                 max_size=5),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_per_rank_time_monotone(sleep_plans):
+    """ctx.now never decreases within a rank, and the makespan equals
+    the slowest rank's local time."""
+    observed = {r: [] for r in range(len(sleep_plans))}
+
+    def prog(ctx):
+        for dt in sleep_plans[ctx.rank]:
+            ctx.engine.sleep(dt)
+            observed[ctx.rank].append(ctx.now)
+
+    res = run(len(sleep_plans), prog, PlatformSpec())
+    for r, times in observed.items():
+        assert times == sorted(times)
+        assert abs(times[-1] - sum(sleep_plans[r])) < 1e-9
+    assert abs(
+        res.makespan - max(sum(p) for p in sleep_plans)
+    ) < 1e-9

@@ -1,0 +1,139 @@
+"""Processor-sharing bandwidth: fair share, caps, conservation."""
+
+import pytest
+
+from repro.simmpi.engine import Engine, SimError
+from repro.simmpi.resource import SharedBandwidth
+
+
+def run_transfers(capacity, per_stream, jobs):
+    """jobs: list of (start_delay, nbytes); returns per-job finish time."""
+    eng = Engine()
+    pipe = SharedBandwidth(eng, capacity, per_stream)
+    finish = {}
+
+    def prog(i, delay, nbytes):
+        def body():
+            eng.sleep(delay)
+            pipe.transfer(nbytes)
+            finish[i] = eng.now
+
+        return body
+
+    for i, (delay, nbytes) in enumerate(jobs):
+        eng.spawn(prog(i, delay, nbytes), i)
+    eng.run()
+    return finish
+
+
+class TestSingleStream:
+    def test_full_rate_when_alone(self):
+        f = run_transfers(100.0, None, [(0.0, 1000.0)])
+        assert f[0] == pytest.approx(10.0)
+
+    def test_per_stream_cap_applies(self):
+        f = run_transfers(100.0, 25.0, [(0.0, 1000.0)])
+        assert f[0] == pytest.approx(40.0)
+
+    def test_zero_bytes_instant(self):
+        f = run_transfers(100.0, None, [(0.0, 0.0)])
+        assert f[0] == 0.0
+
+
+class TestFairSharing:
+    def test_two_equal_streams_split_capacity(self):
+        f = run_transfers(100.0, None, [(0.0, 500.0), (0.0, 500.0)])
+        # both run at 50 B/s → 10 s
+        assert f[0] == pytest.approx(10.0)
+        assert f[1] == pytest.approx(10.0)
+
+    def test_short_stream_releases_capacity(self):
+        f = run_transfers(100.0, None, [(0.0, 1000.0), (0.0, 200.0)])
+        # both at 50 B/s; job1 done at 4s having moved 200;
+        # job0 then finishes its remaining 800 at 100 B/s → 4 + 8 = 12.
+        assert f[1] == pytest.approx(4.0)
+        assert f[0] == pytest.approx(12.0)
+
+    def test_late_arrival_shares(self):
+        f = run_transfers(100.0, None, [(0.0, 1000.0), (5.0, 250.0)])
+        # job0 alone 0-5s: 500 done. Then both at 50: job1 takes 5s
+        # (finish 10); job0's remaining 250 at 100 B/s → 12.5.
+        assert f[1] == pytest.approx(10.0)
+        assert f[0] == pytest.approx(12.5)
+
+    def test_per_stream_cap_leaves_capacity_unused(self):
+        f = run_transfers(100.0, 30.0, [(0.0, 300.0), (0.0, 300.0)])
+        # both capped at 30 B/s (fair share would be 50)
+        assert f[0] == pytest.approx(10.0)
+        assert f[1] == pytest.approx(10.0)
+
+    def test_many_streams(self):
+        n = 10
+        f = run_transfers(100.0, None, [(0.0, 100.0)] * n)
+        # each gets 10 B/s → all finish at 10 s
+        for i in range(n):
+            assert f[i] == pytest.approx(10.0)
+
+    def test_aggregate_rate_never_exceeds_capacity(self):
+        """Total bytes moved ≤ capacity × makespan."""
+        jobs = [(0.0, 700.0), (1.0, 300.0), (2.0, 900.0), (2.5, 50.0)]
+        eng = Engine()
+        pipe = SharedBandwidth(eng, 100.0, None)
+        finish = {}
+
+        def prog(i, delay, nbytes):
+            def body():
+                eng.sleep(delay)
+                pipe.transfer(nbytes)
+                finish[i] = eng.now
+
+            return body
+
+        for i, (d, b) in enumerate(jobs):
+            eng.spawn(prog(i, d, b), i)
+        makespan = eng.run()
+        total = sum(b for _, b in jobs)
+        assert total <= 100.0 * makespan + 1e-6
+        # and the pipe was never idle while work remained: exact optimum
+        assert makespan == pytest.approx(total / 100.0 + 0.0, abs=2.5)
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        eng = Engine()
+        with pytest.raises(SimError):
+            SharedBandwidth(eng, 0.0)
+
+    def test_bad_per_stream(self):
+        eng = Engine()
+        with pytest.raises(SimError):
+            SharedBandwidth(eng, 10.0, -1.0)
+
+    def test_negative_transfer(self):
+        eng = Engine()
+        pipe = SharedBandwidth(eng, 10.0)
+        errs = {}
+
+        def prog():
+            try:
+                pipe.transfer(-5)
+            except SimError:
+                errs["ok"] = True
+
+        eng.spawn(prog, 0)
+        eng.run()
+        assert errs["ok"]
+
+    def test_stats(self):
+        eng = Engine()
+        pipe = SharedBandwidth(eng, 10.0)
+
+        def prog():
+            pipe.transfer(30.0)
+            pipe.transfer(20.0)
+
+        eng.spawn(prog, 0)
+        eng.run()
+        assert pipe.total_transfers == 2
+        assert pipe.total_bytes == 50.0
+        assert pipe.active_streams == 0

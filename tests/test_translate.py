@@ -1,0 +1,140 @@
+"""Six-frame translation and tblastn-style search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast.fasta import SeqRecord
+from repro.blast.translate import (
+    CODON_TABLE,
+    TranslatedHit,
+    reverse_complement,
+    six_frame_translations,
+    tblastn_search,
+    translate,
+)
+
+
+class TestCodonTable:
+    def test_64_codons(self):
+        assert len(CODON_TABLE) == 64
+
+    def test_known_codons(self):
+        assert CODON_TABLE["ATG"] == "M"  # start
+        assert CODON_TABLE["TGG"] == "W"
+        assert CODON_TABLE["TAA"] == "*"
+        assert CODON_TABLE["TAG"] == "*"
+        assert CODON_TABLE["TGA"] == "*"
+        assert CODON_TABLE["GGC"] == "G"
+        assert CODON_TABLE["AAA"] == "K"
+        assert CODON_TABLE["GAT"] == "D"
+        assert CODON_TABLE["TTT"] == "F"
+
+    def test_exactly_three_stops(self):
+        assert sum(1 for v in CODON_TABLE.values() if v == "*") == 3
+
+    def test_all_amino_acids_covered(self):
+        assert set(CODON_TABLE.values()) == set("ACDEFGHIKLMNPQRSTVWY*")
+
+
+class TestReverseComplement:
+    def test_basic(self):
+        assert reverse_complement("ACGT") == "ACGT"
+        assert reverse_complement("AAGG") == "CCTT"
+
+    def test_n_safe(self):
+        assert reverse_complement("ANT") == "ANT"
+
+    @given(st.text(alphabet="ACGT", max_size=200))
+    @settings(max_examples=50)
+    def test_involution(self, s):
+        assert reverse_complement(reverse_complement(s)) == s
+
+
+class TestTranslate:
+    def test_forward_frames(self):
+        dna = "ATGGCC"  # M A
+        assert translate(dna, 1) == "MA"
+        assert translate(dna, 2) == "W"  # TGG CC -> W
+        assert translate(dna, 3) == "G"  # GGC C -> G
+
+    def test_reverse_frame(self):
+        # revcomp(ATG) = CAT -> H
+        assert translate("ATG", -1) == "H"
+
+    def test_ambiguity_becomes_x(self):
+        assert translate("ATN", 1) == "X"
+
+    def test_bad_frame(self):
+        with pytest.raises(ValueError):
+            translate("ATG", 0)
+        with pytest.raises(ValueError):
+            translate("ATG", 4)
+
+    def test_short_sequence_empty(self):
+        assert translate("AT", 1) == ""
+
+    @given(st.text(alphabet="ACGT", min_size=3, max_size=300))
+    @settings(max_examples=50)
+    def test_lengths(self, dna):
+        for f in (1, 2, 3, -1, -2, -3):
+            assert len(translate(dna, f)) == (len(dna) - (abs(f) - 1)) // 3
+
+
+class TestSixFrames:
+    def test_six_records_with_frame_tags(self):
+        rec = SeqRecord("chr1", "ATGGCCATTGAC" * 3)
+        frames = six_frame_translations(rec)
+        assert len(frames) == 6
+        assert all("[frame=" in f.defline for f in frames)
+
+    def test_short_sequences_drop_empty_frames(self):
+        rec = SeqRecord("tiny", "ATGG")  # frames +3/-3 give 0 codons
+        frames = six_frame_translations(rec)
+        assert 0 < len(frames) < 6
+
+
+class TestTblastn:
+    def test_finds_protein_in_forward_frame(self):
+        # Back-translate a peptide into unambiguous codons.
+        peptide = "MKVLAWYQNDCEHGISTMKVLAWYQNDCEHGIST"
+        codon_of = {}
+        for codon, aa in sorted(CODON_TABLE.items()):
+            codon_of.setdefault(aa, codon)
+        dna = "".join(codon_of[aa] for aa in peptide)
+        hits, mapping = tblastn_search(
+            [SeqRecord("q", peptide)],
+            [SeqRecord("genome", "ACGTACGTAGG" + dna + "CCGTA")],
+        )
+        assert hits[0].alignments, "peptide must be found in translation"
+        top = hits[0].alignments[0]
+        tr = mapping[top.subject_oid]
+        assert tr.source_index == 0
+        assert "[frame=" in top.subject_defline
+
+    def test_finds_protein_on_reverse_strand(self):
+        peptide = "MKVLAWYQNDCEHGISTMKVLAWYQNDCEHGIST"
+        codon_of = {}
+        for codon, aa in sorted(CODON_TABLE.items()):
+            codon_of.setdefault(aa, codon)
+        dna = "".join(codon_of[aa] for aa in peptide)
+        genome = reverse_complement("AAA" + dna + "TTTT")
+        hits, mapping = tblastn_search(
+            [SeqRecord("q", peptide)], [SeqRecord("genome", genome)]
+        )
+        assert hits[0].alignments
+        tr = mapping[hits[0].alignments[0].subject_oid]
+        assert tr.frame < 0
+
+    def test_rejects_blastn_params(self):
+        from repro.blast.engine import SearchParams
+
+        with pytest.raises(ValueError):
+            tblastn_search([], [], SearchParams(program="blastn",
+                                                gapped=False))
+
+    def test_mapping_aligned_with_translated_oids(self):
+        recs = [SeqRecord(f"g{i}", "ATGGCCATTGACGGG" * 4) for i in range(3)]
+        _, mapping = tblastn_search([SeqRecord("q", "MAID")], recs)
+        assert all(isinstance(m, TranslatedHit) for m in mapping)
+        assert {m.source_index for m in mapping} == {0, 1, 2}
