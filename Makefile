@@ -1,0 +1,22 @@
+# Test tiers (see FAULTS.md §5).
+#
+#   make test    - tier 1: the fast default suite (chaos tests excluded
+#                  via the `-m 'not chaos'` addopts in pyproject.toml)
+#   make chaos   - tier 2: randomized fault-injection sweeps over fixed
+#                  seeds (slower; exercises FaultPlan.random + the
+#                  exhaustive kill-subset enumeration)
+#   make report  - assemble archived benchmark tables
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test chaos report
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+chaos:
+	$(PYTHON) -m pytest -m chaos -q
+
+report:
+	$(PYTHON) -m repro report

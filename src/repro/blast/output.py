@@ -158,14 +158,17 @@ class ReportWriter:
             schunk = al.aligned_subject[i : i + width]
             q_res = sum(1 for c in qchunk if c != "-")
             s_res = sum(1 for c in schunk if c != "-")
-            qend = qpos + q_res - 1 if q_res else qpos
-            send = spos + s_res - 1 if s_res else spos
+            # A chunk that is all gaps on one strand consumes no residues
+            # there: its end coordinate is the last residue already
+            # consumed (pos - 1), never a position that does not exist.
+            qend = qpos + q_res - 1 if q_res else qpos - 1
+            send = spos + s_res - 1 if s_res else spos - 1
             lines.append(f"Query  {qpos:<6d} {qchunk}  {qend}")
             lines.append(f"       {'':<6} {mchunk}")
             lines.append(f"Sbjct  {spos:<6d} {schunk}  {send}")
             lines.append("")
-            qpos = qend + 1 if q_res else qpos
-            spos = send + 1 if s_res else spos
+            qpos = qend + 1
+            spos = send + 1
         lines.append("")
         return "\n".join(lines).encode("utf-8")
 

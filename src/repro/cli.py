@@ -104,11 +104,20 @@ def _cmd_search(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.experiments.common import (
         ExperimentWorkload,
-        run_program,
+        run_program_raw,
     )
+    from repro.parallel import fault_summary
     from repro.platforms import PLATFORMS
+    from repro.simmpi import FaultPlan
     from repro.workloads import SynthSpec
 
+    faults = None
+    if args.faults is not None:
+        try:
+            faults = FaultPlan.parse(args.faults)
+        except ValueError as e:
+            print(f"bad --faults spec: {e}", file=sys.stderr)
+            return 2
     wl = ExperimentWorkload(
         db_spec=SynthSpec(
             num_sequences=args.db_sequences, mean_length=args.mean_length,
@@ -116,7 +125,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         query_bytes=args.query_bytes,
     )
     platform = PLATFORMS[args.platform]
-    b, store, cfg = run_program(args.program, args.nprocs, wl, platform)
+    b, result, store, cfg = run_program_raw(
+        args.program, args.nprocs, wl, platform, faults=faults
+    )
     print(
         f"{args.program} on {platform.name}, {args.nprocs} processes "
         f"({args.db_sequences} db seqs, {args.query_bytes} B queries)"
@@ -131,6 +142,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     print(f"  report: {store.size(cfg.output_path):,} bytes at "
           f"'{cfg.output_path}' (virtual filesystem)")
+    if faults is not None:
+        print(fault_summary(result) or
+              "faults: none injected, none detected")
     return 0
 
 
@@ -213,6 +227,13 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--db-sequences", type=int, default=300)
     m.add_argument("--mean-length", type=int, default=200)
     m.add_argument("--query-bytes", type=int, default=6000)
+    m.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection plan; ','-separated events, e.g. "
+        "'seed=7,kill=2@0.05,slowdisk=4x1.0@0.2,ioerr=nr@0.1n2' "
+        "(see FAULTS.md for the full mini-language); switches "
+        "mpiblast/pioblast to their fault-tolerant drivers",
+    )
     m.set_defaults(func=_cmd_simulate)
 
     e = sub.add_parser("experiment", help="run a paper table/figure harness")

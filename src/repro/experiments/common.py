@@ -9,6 +9,7 @@ from repro.blast.engine import SearchParams
 from repro.blast.fasta import SeqRecord
 from repro.costmodel import CostModel
 from repro.parallel import (
+    FTParams,
     ParallelConfig,
     breakdown_from_run,
     mpiformatdb,
@@ -19,7 +20,7 @@ from repro.parallel import (
 )
 from repro.parallel.phases import PhaseBreakdown
 from repro.platforms import ORNL_ALTIX
-from repro.simmpi import FileStore, PlatformSpec
+from repro.simmpi import FaultPlan, FileStore, PlatformSpec
 from repro.workloads import SynthSpec, sample_queries, synthesize_protein_records
 
 #: Calibrated cost model for the paper-regime experiments (tuned so the
@@ -108,8 +109,36 @@ def run_program(
     *,
     nfragments: int | None = None,
     config_overrides: dict | None = None,
+    faults: FaultPlan | None = None,
 ) -> tuple[PhaseBreakdown, FileStore, ParallelConfig]:
-    """Stage and execute one driver; returns its phase breakdown."""
+    """Stage and execute one driver; returns its phase breakdown.
+
+    A ``faults`` plan (see :class:`repro.simmpi.FaultPlan`) switches
+    mpiBLAST/pioBLAST to their fault-tolerant drivers.  Callers that
+    need the resulting :class:`repro.simmpi.FaultReport` should use
+    :func:`run_program_raw`, which also returns the raw ``RunResult``.
+    """
+    b, _result, store, cfg = run_program_raw(
+        program, nprocs, wl, platform,
+        nfragments=nfragments,
+        config_overrides=config_overrides,
+        faults=faults,
+    )
+    return b, store, cfg
+
+
+def run_program_raw(
+    program: str,
+    nprocs: int,
+    wl: ExperimentWorkload,
+    platform: PlatformSpec = ORNL_ALTIX,
+    *,
+    nfragments: int | None = None,
+    config_overrides: dict | None = None,
+    faults: FaultPlan | None = None,
+):
+    """Like :func:`run_program` but also returns the raw ``RunResult``
+    (phase timings per rank, fault report, dead ranks)."""
     nworkers = nprocs - 1
     frag = nfragments if nfragments is not None else None
     needs_physical = program == "mpiblast"
@@ -120,15 +149,25 @@ def run_program(
         cfg = replace(cfg, num_fragments=frag)
     if config_overrides:
         cfg = replace(cfg, **config_overrides)
+    if (faults is not None or cfg.fault_tolerance) and cfg.ft == FTParams():
+        # Untouched FT defaults are sized for laboratory cost models;
+        # stretch them to the experiment workload's calibrated costs so
+        # healthy-but-slow workers are not declared dead.
+        cfg = replace(cfg, ft=FTParams.for_cost(cfg.cost))
     if program == "mpiblast":
-        result = run_mpiblast(nprocs, store, cfg, platform)
+        result = run_mpiblast(nprocs, store, cfg, platform, faults=faults)
     elif program == "pioblast":
-        result = run_pioblast(nprocs, store, cfg, platform)
+        result = run_pioblast(nprocs, store, cfg, platform, faults=faults)
     elif program == "queryseg":
+        if faults is not None:
+            raise ValueError(
+                "queryseg has no fault-tolerant driver; "
+                "use mpiblast or pioblast"
+            )
         result = run_queryseg(nprocs, store, cfg, platform)
     else:
         raise ValueError(f"unknown program {program!r}")
-    return breakdown_from_run(program, result), store, cfg
+    return breakdown_from_run(program, result), result, store, cfg
 
 
 def format_table(

@@ -25,6 +25,7 @@ SECTION_ORDER = [
     ("ablation_pruning", "Extension §5 — early score communication"),
     ("ablation_granularity", "Extension §5 — adaptive granularity"),
     ("ablation_queryseg", "Baseline §2.1 — query segmentation"),
+    ("chaos", "Chaos — fault-injection recovery (FAULTS.md)"),
 ]
 
 

@@ -20,7 +20,7 @@ All drivers produce byte-identical output files for the same inputs
 (the paper's own correctness claim for pioBLAST vs mpiBLAST).
 """
 
-from repro.parallel.config import ParallelConfig, stage_inputs
+from repro.parallel.config import FTParams, ParallelConfig, stage_inputs
 from repro.parallel.fragments import (
     mpiformatdb,
     fragment_paths,
@@ -34,9 +34,14 @@ from repro.parallel.serial import run_serial_reference
 from repro.parallel.mpiblast import run_mpiblast
 from repro.parallel.pioblast import run_pioblast
 from repro.parallel.queryseg import run_queryseg
-from repro.parallel.phases import PhaseBreakdown, breakdown_from_run
+from repro.parallel.phases import (
+    PhaseBreakdown,
+    breakdown_from_run,
+    fault_summary,
+)
 
 __all__ = [
+    "FTParams",
     "ParallelConfig",
     "stage_inputs",
     "mpiformatdb",
@@ -53,4 +58,5 @@ __all__ = [
     "run_queryseg",
     "PhaseBreakdown",
     "breakdown_from_run",
+    "fault_summary",
 ]

@@ -6,9 +6,19 @@ copy cost), otherwise the fragment currently held by the fewest workers
 (spreads copies).  This reproduction keeps that policy; with natural
 partitioning (fragments == workers, fresh disks) it degenerates to
 fragment *k* → worker *k*, matching the paper's benchmark setup.
+
+The fault-tolerant drivers additionally need the queue to *give work
+back*: :meth:`GreedyAssigner.requeue` returns a dead worker's in-flight
+fragment to the pool (idempotently — requeueing an already-queued or
+already-completed fragment is a guarded no-op, which is what makes
+duplicate death declarations and master/worker races harmless), and
+:meth:`GreedyAssigner.drop_worker` forgets a dead worker's local copies
+so the least-replicated heuristic stops counting unreachable replicas.
 """
 
 from __future__ import annotations
+
+from bisect import insort
 
 
 class GreedyAssigner:
@@ -23,17 +33,60 @@ class GreedyAssigner:
         self.holdings: dict[int, set[int]] = {}
         # fragment -> number of workers holding a copy
         self.copies: list[int] = [0] * nfragments
+        # fragments whose results the master has accepted; a completed
+        # fragment can never be requeued (guards duplicate-claim races)
+        self.completed: set[int] = set()
 
     @property
     def done(self) -> bool:
         return not self.unassigned
 
+    def _check_frag(self, frag: int) -> None:
+        if not (0 <= frag < self.nfragments):
+            raise ValueError(
+                f"fragment {frag} out of range (n={self.nfragments})"
+            )
+
     def note_holding(self, worker: int, frag: int) -> None:
         """Record that ``worker`` has a local copy of ``frag``."""
+        self._check_frag(frag)
         held = self.holdings.setdefault(worker, set())
         if frag not in held:
             held.add(frag)
             self.copies[frag] += 1
+
+    def mark_completed(self, frag: int) -> None:
+        """Results for ``frag`` accepted; it is now immune to requeue.
+
+        Also withdraws the fragment from the queue if a duplicate claim
+        raced in — a worker declared dead (and its fragment requeued)
+        whose result then arrived anyway must not cause a re-search.
+        """
+        self._check_frag(frag)
+        self.completed.add(frag)
+        if frag in self.unassigned:
+            self.unassigned.remove(frag)
+
+    def requeue(self, frag: int) -> bool:
+        """Return a fragment to the pool (its worker died mid-search).
+
+        Returns ``True`` if the fragment was actually re-queued.  A
+        fragment that is already queued, or whose results have already
+        been accepted (a duplicate claim — the worker was declared dead
+        but its result raced in first), is left alone.
+        """
+        self._check_frag(frag)
+        if frag in self.completed or frag in self.unassigned:
+            return False
+        insort(self.unassigned, frag)
+        return True
+
+    def drop_worker(self, worker: int) -> list[int]:
+        """Forget a dead worker's local copies; returns what it held."""
+        held = sorted(self.holdings.pop(worker, set()))
+        for frag in held:
+            self.copies[frag] -= 1
+        return held
 
     def assign(self, worker: int) -> int | None:
         """Pick the next fragment for an idle worker (None when done)."""

@@ -13,6 +13,74 @@ from repro.simmpi import FileStore
 
 
 @dataclass(frozen=True)
+class FTParams:
+    """Tunables of the fault-tolerant scheduling protocol.
+
+    All times are *virtual* seconds.  The defaults are sized for the
+    simulated workloads in this repo: timeouts comfortably exceed any
+    healthy operation's modelled duration, so a timeout firing really
+    does mean the peer is gone (or catastrophically slow, which the
+    revival path then repairs).
+    """
+
+    #: how long a worker waits for the master's RPC reply before resending
+    req_timeout: float = 0.25
+    #: RPC resend budget before a worker concludes it is orphaned
+    req_max_attempts: int = 200
+    #: idle-poll backoff the master hands to workers with nothing to do
+    poll_backoff: float = 0.1
+    #: master's receive-timeout granularity (death checks run each tick)
+    master_tick: float = 0.25
+    #: silence threshold after which a searching worker is declared dead
+    search_timeout: float = 5.0
+    #: silence threshold for a worker that was told to write output
+    write_timeout: float = 2.0
+    #: how long the master keeps answering stray RPCs after releasing
+    #: the last worker (covers retries of a lost "done" reply)
+    linger: float = 1.0
+    #: transient-I/O retry budget (see repro.simmpi.faults.retry_io)
+    io_attempts: int = 6
+
+    def scaled(self, factor: float) -> "FTParams":
+        """Stretch the protocol's patience for slower-modelled workloads.
+
+        The silence thresholds must comfortably exceed any healthy
+        operation's duration, and those durations scale with the cost
+        model (``compute_scale`` / ``data_scale``): under the calibrated
+        paper-regime costs a single fragment search takes tens of
+        virtual seconds, which would blow the laboratory-sized defaults
+        and get every healthy worker declared dead.  Patience knobs
+        (``req_timeout``, ``search_timeout``, ``write_timeout``) scale
+        linearly — a long receive timeout is free on the healthy path,
+        since the receive returns as soon as the reply arrives.  Chatter
+        knobs (``poll_backoff``, ``master_tick``, ``linger``) are capped
+        at 10x so a genuinely dead worker's detection wait does not
+        flood the event queue with polls, while bounding the idle time
+        the scaling adds to a fault-free run.
+        """
+        if factor <= 1.0:
+            return self
+        small = min(factor, 10.0)
+        return FTParams(
+            req_timeout=self.req_timeout * factor,
+            req_max_attempts=self.req_max_attempts,
+            poll_backoff=self.poll_backoff * small,
+            master_tick=self.master_tick * small,
+            search_timeout=self.search_timeout * factor,
+            write_timeout=self.write_timeout * factor,
+            linger=self.linger * small,
+            io_attempts=self.io_attempts,
+        )
+
+    @classmethod
+    def for_cost(cls, cost: CostModel) -> "FTParams":
+        """Defaults stretched to a cost model's slowest dimension."""
+        return cls().scaled(
+            max(1.0, cost.compute_scale, cost.data_scale)
+        )
+
+
+@dataclass(frozen=True)
 class ParallelConfig:
     """Inputs of one parallel search run.
 
@@ -39,6 +107,12 @@ class ParallelConfig:
     # bounds the worker result cache to one N-query round at a time,
     # with one collective write per round.
     query_batch: int = 0
+    # Fault tolerance: use the pull-RPC scheduling protocol that
+    # survives worker crashes, message drops and transient I/O errors.
+    # Implied whenever a FaultPlan is passed to a driver.  The FT
+    # drivers process all queries in one round (query_batch ignored).
+    fault_tolerance: bool = False
+    ft: FTParams = field(default_factory=FTParams)
 
     def fragments_for(self, nworkers: int) -> int:
         return self.num_fragments if self.num_fragments > 0 else nworkers

@@ -20,10 +20,23 @@ Master/worker organisation per the paper §2.2 and §3.2:
    appends it to the single output file with a small write.  This
    serialized fetch/format/write loop is the bottleneck Table 1 shows
    (the "result fetching" alone is >40% of output time).
+
+**Fault tolerance** (``config.fault_tolerance`` or a ``faults`` plan):
+the FT variant swaps the blocking broadcast/recv control flow for the
+same idempotent pull-RPC scheduling pioBLAST's FT driver uses (sequence
+numbers + reply cache + per-worker silence timeouts + requeue), but
+deliberately *keeps* the baseline's serialized fetch/format/write output
+path — under faults it gains per-fetch timeouts and restarts the whole
+output file when an owning worker dies mid-fetch (alignment data lives
+only in the owner's memory, so a death invalidates the owner's share of
+the report and its fragments must be re-searched).  The contrast with
+pioBLAST's re-homeable deterministic blocks is the point: result caching
+is also a *recovery* optimisation, not just a throughput one.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import Any
 
@@ -44,7 +57,8 @@ from repro.parallel.config import ParallelConfig
 from repro.parallel.fragments import fragment_paths
 from repro.parallel.results import AlignmentMeta, merge_select, meta_from_alignment
 from repro.simmpi import FileStore, PlatformSpec, ProcContext, RunResult, Status
-from repro.simmpi.comm import ANY_SOURCE, ANY_TAG
+from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, TIMEOUT
+from repro.simmpi.faults import FaultPlan, retry_io
 from repro.simmpi.launcher import run
 
 TAG_WORKREQ = 10
@@ -53,6 +67,9 @@ TAG_RESULT = 12
 TAG_FETCH = 13
 TAG_FETCHRESP = 14
 TAG_DONE = 15
+# Fault-tolerant RPC channel (same shape as pioBLAST's; see FAULTS.md).
+TAG_FT_REQ = 16
+TAG_FT_REPLY = 17
 
 NO_MORE_WORK = -1
 
@@ -279,8 +296,463 @@ def _worker(ctx: ProcContext, cfg: ParallelConfig) -> None:
         )
 
 
+# ---------------------------------------------------------------------------
+# Fault-tolerant variant.
+#
+# Same pull-RPC shape as pioBLAST's FT driver (see pioblast.py and
+# FAULTS.md): workers send ``(rank, seq, kind, data)`` on TAG_FT_REQ and
+# wait (with timeout + resend) for ``(seq, body)`` on TAG_FT_REPLY; the
+# master caches its last reply per worker so every RPC is idempotent
+# under drops.  The crucial difference is the *output* path: mpiBLAST's
+# alignment data lives only in the owning worker's memory, under that
+# worker's private local ids.  ``owner_rank`` therefore really is a rank
+# here (unlike FT pioBLAST, where it carries a fragment id), a fetch that
+# times out means the whole output file must be restarted after the dead
+# owner's fragments are re-searched by someone else, and an output
+# restart re-pays every serialized fetch.  That asymmetry is the
+# experiment: pioBLAST's result caching doubles as cheap recovery.
+#
+# Request kinds           Reply bodies
+#   ("hello",  None)        ("setup", (queries, ranges, info))
+#   ("work",   None)        ("frag", fid) | ("wait", dt) | ("done", None)
+#   ("result", (fid, metas))("ok", None)
+#
+# The master's serialized fetches ride the baseline's TAG_FETCH /
+# TAG_FETCHRESP channel, extended with a fetch sequence number so a
+# retried fetch ignores stale responses: master sends ``(fseq, qi, lid)``
+# and the owner echoes ``(fseq, alignment)``.  Workers answer fetches
+# from *inside* their RPC receive loop, so a worker blocked waiting for
+# a slow master reply still serves the master's output phase.
+
+
+def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
+    comm, cost, ft = ctx.comm, cfg.cost, cfg.ft
+    sim = ctx.engine
+    report = ctx.fault_report
+    nfrag = cfg.fragments_for(ctx.size - 1)
+    ctx.compute(cost.init_seconds())
+
+    def rread(path: str, charge: int) -> bytes:
+        return retry_io(
+            sim,
+            lambda: ctx.fs.read(path, charge_bytes=charge),
+            attempts=ft.io_attempts,
+            report=report,
+            what=f"read:{path}",
+        )
+
+    # ---- setup: same partitioning as `_master`, retried reads ----------
+    qdata = rread(
+        cfg.query_path, cost.wire_bytes(ctx.fs.size(cfg.query_path))
+    )
+    queries = read_queries_bytes(qdata)
+    index = parse_index(
+        rread(
+            f"{cfg.db_name}.xin",
+            cost.db_wire_bytes(ctx.fs.size(f"{cfg.db_name}.xin")),
+        )
+    )
+    info = GlobalDbInfo(index.title, index.nseqs, index.total_letters)
+    ranges = index.partition_ranges(nfrag)
+    setup_blob = (queries, ranges, info)
+    engine = BlastSearch(cfg.search)
+    writer = writer_for(engine, info)
+    out = cfg.output_path
+
+    # ---- scheduler state ------------------------------------------------
+    alive: set[int] = set(range(1, ctx.size))
+    dead: set[int] = set()
+    last_seen: dict[int, float] = {w: 0.0 for w in alive}
+    assigned: dict[int, int] = {}        # worker -> fid being (re)searched
+    assigner = GreedyAssigner(nfrag)     # first-search queue
+    research: list[int] = []             # fids whose owner died; search again
+    # fid -> (owning worker, metas per query).  Dropped when the owner
+    # dies: the metas' local ids only mean something to that owner.
+    frag_metas: dict[int, tuple[int, list[list[AlignmentMeta]]]] = {}
+    reply_cache: dict[int, tuple[int, Any]] = {}
+    state = "search"
+    fetch_seq = 0
+
+    # ---- helpers --------------------------------------------------------
+    def queue_research(fid: int) -> None:
+        if fid not in research and fid not in assigned.values():
+            insort(research, fid)
+            report.record(sim.now, "recover:research", fid)
+
+    def declare_dead(w: int, why: str) -> None:
+        if w in dead:
+            return
+        dead.add(w)
+        alive.discard(w)
+        report.record(sim.now, "detect:worker-dead", w, why)
+        assigner.drop_worker(w)
+        fid = assigned.pop(w, None)
+        if fid is not None and fid not in frag_metas:
+            if assigner.requeue(fid):
+                report.record(sim.now, "recover:requeue", fid, w)
+        # The dead worker's completed fragments are lost with it (the
+        # alignments lived in its memory); re-search them from scratch.
+        lost = sorted(
+            f for f, (ow, _m) in frag_metas.items() if ow == w
+        )
+        for f in lost:
+            del frag_metas[f]
+            queue_research(f)
+
+    def revive(w: int) -> None:
+        dead.discard(w)
+        alive.add(w)
+        report.record(sim.now, "recover:revive", w)
+
+    def check_deaths() -> None:
+        now = sim.now
+        for w in sorted(alive):
+            if now - last_seen[w] > ft.search_timeout:
+                declare_dead(
+                    w, "search-timeout" if w in assigned else "silent"
+                )
+
+    def fetch(owner: int, qi: int, local_id: int) -> Alignment | None:
+        """One serialized fetch, retried; None means the owner is gone."""
+        nonlocal fetch_seq
+        for _attempt in range(3):
+            fetch_seq += 1
+            comm.isend((fetch_seq, qi, local_id), dest=owner, tag=TAG_FETCH)
+            while True:
+                reply = comm.recv_with_timeout(
+                    source=owner, tag=TAG_FETCHRESP, timeout=ft.write_timeout
+                )
+                if reply is TIMEOUT:
+                    break
+                fseq, al = reply
+                if fseq == fetch_seq:
+                    return al
+                # stale response to an earlier (timed-out) fetch; drain
+        return None
+
+    def try_output() -> bool:
+        """One attempt at the serialized fetch/format/write output pass.
+
+        Returns False when an owning worker died mid-fetch: its
+        fragments go back to the re-search queue and the caller must
+        re-enter the search state; the next attempt rebuilds the file
+        from offset 0 (every already-paid fetch is paid again — the
+        restart cost pioBLAST's cached deterministic blocks avoid).
+        """
+        missing = sorted(set(range(nfrag)) - set(frag_metas))
+        per_query: list[list[AlignmentMeta]] = [[] for _ in queries]
+        for fid in sorted(frag_metas):
+            _ow, metas_pq = frag_metas[fid]
+            for qi, metas in enumerate(metas_pq):
+                per_query[qi].extend(metas)
+        with ctx.phase("output"):
+            ctx.fs.delete(out)
+
+            def rwrite(offset: int, buf: bytes) -> None:
+                retry_io(
+                    sim,
+                    lambda: ctx.fs.write(
+                        out, offset, buf,
+                        charge_bytes=cost.wire_bytes(len(buf)),
+                    ),
+                    attempts=ft.io_attempts,
+                    report=report,
+                    what="write:output",
+                )
+
+            pre = writer.preamble()
+            rwrite(0, pre)
+            offset = len(pre)
+            for qi, qrec in enumerate(queries):
+                candidates = per_query[qi]
+                ctx.compute(
+                    cost.candidate_processing_seconds(len(candidates))
+                )
+                passing = [
+                    m for m in candidates if m.evalue <= cfg.search.expect
+                ]
+                selected = merge_select(passing, cfg.search.max_alignments)
+                header = header_bytes_for(writer, qrec, selected)
+                rwrite(offset, header)
+                offset += len(header)
+                for m in selected:
+                    ctx.compute(cost.fetch_overhead_seconds())
+                    al = fetch(m.owner_rank, qi, m.local_id)
+                    if al is None:
+                        declare_dead(m.owner_rank, "fetch-timeout")
+                        report.record(
+                            sim.now, "recover:restart-output", m.owner_rank
+                        )
+                        return False
+                    block = writer.alignment_block(al)
+                    ctx.compute(cost.render_seconds(len(block)))
+                    rwrite(offset, block)
+                    offset += len(block)
+                footer = footer_bytes_for(writer, engine, qrec, info)
+                rwrite(offset, footer)
+                offset += len(footer)
+        if missing:
+            report.degraded = True
+            report.missing_fragments = missing
+            report.record(sim.now, "detect:degraded", tuple(missing))
+        return True
+
+    def attempt_output() -> None:
+        nonlocal state
+        ok = try_output()
+        # The serialized output pass can outlast the silence thresholds;
+        # give surviving workers a fresh liveness window so they are not
+        # declared dead for politely waiting out our fetch loop.
+        now = sim.now
+        for w in alive:
+            last_seen[w] = now
+        if ok:
+            state = "done"
+
+    def work_reply(w: int):
+        if state == "done":
+            return ("done", None)
+        if research:
+            fid = research.pop(0)
+            assigned[w] = fid
+            assigner.note_holding(w, fid)
+            return ("frag", fid)
+        fid = assigner.assign(w)
+        if fid is not None:
+            assigned[w] = fid
+            assigner.note_holding(w, fid)
+            return ("frag", fid)
+        return ("wait", ft.poll_backoff)
+
+    def handle(w: int, kind: str, data: Any):
+        if kind == "hello":
+            return ("setup", setup_blob)
+        if kind == "work":
+            return work_reply(w)
+        if kind == "result":
+            fid, metas = data
+            if assigned.get(w) == fid:
+                assigned.pop(w)
+            if fid not in frag_metas:
+                # First (or revived-after-loss) report for this fragment.
+                frag_metas[fid] = (w, metas)
+                assigner.mark_completed(fid)
+                if fid in research:
+                    research.remove(fid)
+            else:
+                report.record(sim.now, "recover:dup-result", fid, w)
+            return ("ok", None)
+        raise RuntimeError(f"unknown FT request kind {kind!r}")
+
+    # ---- serve loop -----------------------------------------------------
+    done_since: float | None = None
+    while True:
+        msg = comm.recv_with_timeout(tag=TAG_FT_REQ, timeout=ft.master_tick)
+        now = sim.now
+        if msg is not TIMEOUT:
+            # Refresh the sender's liveness *before* the death sweep so
+            # a slow worker is not declared dead by its own message.
+            w, seq, kind, data = msg
+            if w in dead:
+                revive(w)
+            last_seen[w] = now
+        # Death checks run every iteration: with several healthy workers
+        # polling, the receive above may never time out, and a dead
+        # worker must still be detected promptly.
+        check_deaths()
+        if state == "search" and (
+            len(frag_metas) == nfrag or (msg is TIMEOUT and not alive)
+        ):
+            # Complete — or degraded with nobody left to search the
+            # missing fragments.  Either way, attempt the output pass.
+            attempt_output()
+        if msg is TIMEOUT:
+            if state == "done":
+                if done_since is None:
+                    done_since = sim.now
+                elif sim.now - done_since > ft.linger:
+                    break
+            continue
+        done_since = None
+        cached = reply_cache.get(w)
+        if cached is not None and cached[0] == seq:
+            comm.isend(cached, dest=w, tag=TAG_FT_REPLY)
+            continue
+        body = handle(w, kind, data)
+        reply_cache[w] = (seq, body)
+        comm.isend((seq, body), dest=w, tag=TAG_FT_REPLY)
+
+    # Final accounting: fragments the report never saw results for.
+    missing = sorted(set(range(nfrag)) - set(frag_metas))
+    if missing and not report.missing_fragments:
+        report.degraded = True
+        report.missing_fragments = missing
+
+
+def _ft_copy_and_search(
+    ctx: ProcContext,
+    cfg: ParallelConfig,
+    engine: BlastSearch,
+    queries,
+    ranges: list[tuple[int, int]],
+    info: GlobalDbInfo,
+    frag: int,
+) -> list[list[Alignment]]:
+    """The baseline copy + mmap-search pipeline with transient-I/O retry."""
+    cost, ft = cfg.cost, cfg.ft
+    report = ctx.fault_report
+    sim = ctx.engine
+    lo, _hi = ranges[frag]
+    paths = fragment_paths(cfg.db_name, frag)
+    local = ctx.local_disk
+
+    with ctx.phase("copy"):
+        for _ext, path in paths.items():
+            nbytes = ctx.fs.size(path)
+            wire = int(cost.db_wire_bytes(nbytes) * cost.copy_inefficiency)
+            data = retry_io(
+                sim,
+                lambda path=path, wire=wire: ctx.fs.read(
+                    path, charge_bytes=wire
+                ),
+                attempts=ft.io_attempts,
+                report=report,
+                what=f"read:{path}",
+            )
+            ctx.engine.sleep(
+                cost.copy_chunk_overhead_seconds(wire, ctx.fs.op_overhead)
+            )
+            target = f"scratch/r{ctx.rank}/{path}"
+            dst = local if local is not None else ctx.fs
+            retry_io(
+                sim,
+                lambda target=target, data=data, wire=wire: dst.write(
+                    target, 0, data, charge_bytes=wire
+                ),
+                attempts=ft.io_attempts,
+                report=report,
+                what=f"write:{target}",
+            )
+            ctx.engine.sleep(
+                cost.copy_chunk_overhead_seconds(wire, dst.op_overhead)
+            )
+
+    with ctx.phase("search"):
+        loaded: dict[str, bytes] = {}
+        for ext, path in paths.items():
+            target = f"scratch/r{ctx.rank}/{path}"
+            src = local if local is not None else ctx.fs
+            charge = int(
+                cost.db_wire_bytes(src.size(target)) * cost.mmap_inefficiency
+            )
+            loaded[ext] = retry_io(
+                sim,
+                lambda src=src, target=target, charge=charge: src.read(
+                    target, charge_bytes=charge
+                ),
+                attempts=ft.io_attempts,
+                report=report,
+                what=f"read:{target}",
+            )
+        fidx = parse_index(loaded["xin"])
+        volume = DatabaseVolume(fidx, loaded["xhr"], loaded["xsq"])
+        return search_fragment_timed(
+            ctx, engine, queries, volume, info, lo, cost,
+            filter_local=True,
+        )
+
+
+def _ft_worker(ctx: ProcContext, cfg: ParallelConfig) -> str:
+    comm, cost, ft = ctx.comm, cfg.cost, cfg.ft
+    seq = 0
+    # Local result cache, exactly as in the baseline: alignment data
+    # never leaves this worker until the master fetches it.
+    cache: dict[tuple[int, int], Alignment] = {}
+    next_local_id = 0
+
+    def serve_fetch(msg: tuple[int, int, int]) -> None:
+        fseq, qi, local_id = msg
+        al = cache[(qi, local_id)]
+        comm.isend(
+            (fseq, al),
+            dest=0,
+            tag=TAG_FETCHRESP,
+            nbytes=cost.wire_bytes(al.payload_nbytes()),
+        )
+
+    def rpc(kind: str, data: Any = None) -> Any:
+        """Idempotent RPC to the master; None means we are orphaned.
+
+        The master's serialized output pass interleaves TAG_FETCH
+        requests with our polling, so the receive loop answers fetches
+        in-line (they do not consume retry attempts).
+        """
+        nonlocal seq
+        seq += 1
+        payload = (ctx.rank, seq, kind, data)
+        for _attempt in range(ft.req_max_attempts):
+            comm.isend(payload, dest=0, tag=TAG_FT_REQ)
+            while True:
+                st = Status()
+                reply = comm.recv_with_timeout(
+                    source=0, tag=ANY_TAG, timeout=ft.req_timeout, status=st
+                )
+                if reply is TIMEOUT:
+                    break
+                if st.tag == TAG_FETCH:
+                    serve_fetch(reply)
+                    continue
+                rseq, body = reply
+                if rseq == seq:
+                    return body
+                # A stale duplicate of an earlier reply; drain and retry.
+        return None
+
+    body = rpc("hello")
+    if body is None:
+        return "orphaned"
+    queries, ranges, info = body[1]
+    ctx.compute(cost.init_seconds())
+    engine = BlastSearch(cfg.search)
+
+    while True:
+        body = rpc("work")
+        if body is None:
+            return "orphaned"
+        kind, data = body
+        if kind == "wait":
+            ctx.engine.sleep(data)
+        elif kind == "done":
+            return "done"
+        elif kind == "frag":
+            frag = data
+            per_query = _ft_copy_and_search(
+                ctx, cfg, engine, queries, ranges, info, frag
+            )
+            metas_per_query: list[list[AlignmentMeta]] = []
+            for qi, als in enumerate(per_query):
+                metas = []
+                for al in als:
+                    cache[(qi, next_local_id)] = al
+                    metas.append(
+                        meta_from_alignment(al, ctx.rank, next_local_id, 0)
+                    )
+                    next_local_id += 1
+                metas_per_query.append(metas)
+            if rpc("result", (frag, metas_per_query)) is None:
+                return "orphaned"
+        else:  # pragma: no cover - protocol error
+            raise RuntimeError(f"unknown FT reply kind {kind!r}")
+
+
 def _program(ctx: ProcContext) -> Any:
     cfg: ParallelConfig = ctx.args["config"]
+    if ctx.args.get("ft"):
+        if ctx.rank == 0:
+            _ft_master(ctx, cfg)
+        else:
+            return _ft_worker(ctx, cfg)
+        return None
     if ctx.rank == 0:
         _master(ctx, cfg)
     else:
@@ -293,6 +765,8 @@ def run_mpiblast(
     store: FileStore,
     config: ParallelConfig,
     platform: PlatformSpec | None = None,
+    *,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Run the mpiBLAST reproduction on a simulated cluster.
 
@@ -300,13 +774,20 @@ def run_mpiblast(
     fragments (see :func:`repro.parallel.fragments.mpiformatdb` — run it
     with ``config.fragments_for(nprocs - 1)`` fragments), and the query
     file.  The report lands at ``config.output_path`` in the store.
+
+    Passing a ``faults`` plan (or setting ``config.fault_tolerance``)
+    switches to the fault-tolerant pull-RPC driver; note its recovery
+    path is deliberately costlier than pioBLAST's (see the module
+    docstring): an owner death restarts the whole serialized output.
     """
     if nprocs < 2:
         raise ValueError("mpiBLAST needs a master and at least one worker")
+    ft_mode = config.fault_tolerance or faults is not None
     return run(
         nprocs,
         _program,
         platform,
         shared_store=store,
-        args={"config": config},
+        args={"config": config, "ft": ft_mode},
+        faults=faults,
     )

@@ -52,6 +52,26 @@ class PhaseBreakdown:
         }
 
 
+def fault_summary(result: RunResult) -> str:
+    """Digest of a run's fault-injection ledger (empty if clean).
+
+    Fault-tolerant runs (see :mod:`repro.simmpi.faults`) attach a
+    :class:`repro.simmpi.FaultReport` to the :class:`RunResult`; this
+    renders it — plus the engine's ground-truth kill list — for CLI and
+    experiment output.  A fault-free run returns ``""`` so callers can
+    print it unconditionally.
+    """
+    report = result.fault_report
+    if report is None or (report.empty and not result.dead_ranks):
+        return ""
+    lines = [report.summary()]
+    if result.dead_ranks:
+        lines.append(
+            f"  killed by plan: {sorted(result.dead_ranks)}"
+        )
+    return "\n".join(lines)
+
+
 def breakdown_from_run(program: str, result: RunResult) -> PhaseBreakdown:
     copy_input = result.phase_max(COPY) + result.phase_max(INPUT)
     search = result.phase_max(SEARCH)

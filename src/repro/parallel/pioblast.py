@@ -23,14 +23,35 @@ the ablation benchmarks via :class:`repro.parallel.config.ParallelConfig`):
 early-score pruning — an allreduce of per-query score cut lines before
 metadata submission — and adaptive granularity (more virtual fragments
 than workers, assigned from a work queue).
+
+**Fault tolerance** (``config.fault_tolerance`` or a ``faults`` plan):
+the collective data-flow above deadlocks the moment any rank dies inside
+a broadcast, gather or collective write, so the FT driver replaces it
+with a pull-style RPC protocol (see FAULTS.md):
+
+- workers drive everything through idempotent, sequence-numbered RPCs on
+  ``TAG_FT_REQ``/``TAG_FT_REPLY`` (the master caches its last reply per
+  worker, so dropped requests *or* replies are healed by resending);
+- the master detects death by silence (per-worker timeouts), requeues a
+  dead worker's fragment to the survivors, and has surviving workers
+  re-search fragments whose cached output blocks died with their owner;
+- output uses individual reliable writes at master-computed offsets
+  (never a collective — a collective cannot complete with dead ranks);
+  because rendering is deterministic, a re-searching worker regenerates
+  byte-identical blocks and the final file equals the fault-free one;
+- if *every* worker dies, the master degrades gracefully: it writes a
+  report over the fragments it can still account for and records the
+  rest in ``FaultReport.missing_fragments``.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Any
 
 from repro.blast.engine import BlastSearch
 from repro.blast.hsp import Alignment
+from repro.parallel.assignment import GreedyAssigner
 from repro.parallel.common import (
     GlobalDbInfo,
     footer_bytes_for,
@@ -57,6 +78,8 @@ from repro.simmpi import (
     ProcContext,
     RunResult,
 )
+from repro.simmpi.comm import TIMEOUT
+from repro.simmpi.faults import FaultPlan, retry_io
 from repro.simmpi.launcher import run
 
 TAG_SELECT = 30
@@ -64,6 +87,10 @@ TAG_FETCH = 31
 TAG_FETCHRESP = 32
 TAG_WQ_REQ = 33
 TAG_WQ_ASSIGN = 34
+
+# Fault-tolerant pull-RPC protocol (see module docstring / FAULTS.md).
+TAG_FT_REQ = 40
+TAG_FT_REPLY = 41
 
 NO_MORE_WORK = -1
 
@@ -385,8 +412,481 @@ def _worker(ctx: ProcContext, cfg: ParallelConfig) -> None:
                     )
 
 
+# ======================================================================
+# Fault-tolerant driver (pull-RPC scheduling; see module docstring)
+# ======================================================================
+#
+# Protocol.  Workers send ``(rank, seq, kind, data)`` on TAG_FT_REQ and
+# wait (with timeout + resend) for ``(seq, body)`` on TAG_FT_REPLY.  The
+# master caches its last reply per worker: a request with an
+# already-answered ``seq`` just gets the cached reply again, which makes
+# every RPC idempotent under drops of either direction.
+#
+# Request kinds           Reply bodies
+#   ("hello",  None)        ("setup",  (queries, info, frags, indexes))
+#   ("work",   None)        ("frag", fid) | ("wait", dt)
+#                           | ("select", (round, [(fid, lid, off)...]))
+#                           | ("done", None)
+#   ("result", (fid, metas))("ok", None)
+#   ("wrote",  (round, fids))("ok", None)
+#
+# In FT mode ``AlignmentMeta.owner_rank`` carries the *fragment id*, not
+# a rank: block ownership is dynamic (any worker that searched the
+# fragment holds byte-identical rendered blocks, because rendering is
+# deterministic), so the master maps fragment → current holder at output
+# time and can re-home writes when a holder dies.
+
+
+def _ft_read(ctx: ProcContext, cfg: ParallelConfig, path: str,
+             charge: int) -> bytes:
+    """Master-side shared-fs read with transient-error retry."""
+    return retry_io(
+        ctx.engine,
+        lambda: ctx.fs.read(path, charge_bytes=charge),
+        attempts=cfg.ft.io_attempts,
+        report=ctx.fault_report,
+        what=f"read:{path}",
+    )
+
+
+def _ft_setup(ctx: ProcContext, cfg: ParallelConfig):
+    """Read queries + indexes, partition (same logic as `_master`)."""
+    cost = cfg.cost
+    nworkers = ctx.size - 1
+    nfrag = cfg.fragments_for(nworkers)
+    qdata = _ft_read(
+        ctx, cfg, cfg.query_path,
+        cost.wire_bytes(ctx.fs.size(cfg.query_path)),
+    )
+    queries = read_queries_bytes(qdata)
+    if ctx.fs.exists(f"{cfg.db_name}.xal"):
+        from repro.blast.formatdb import parse_alias
+
+        bases, alias_title = parse_alias(ctx.fs.read(f"{cfg.db_name}.xal"))
+    else:
+        bases, alias_title = [cfg.db_name], None
+    index_bytes: dict[str, bytes] = {}
+    indexes = []
+    for base in bases:
+        data = _ft_read(
+            ctx, cfg, f"{base}.xin",
+            cost.db_wire_bytes(ctx.fs.size(f"{base}.xin")),
+        )
+        index_bytes[base] = data
+        indexes.append(parse_index(data))
+    info = GlobalDbInfo(
+        alias_title or indexes[0].title,
+        sum(ix.nseqs for ix in indexes),
+        sum(ix.total_letters for ix in indexes),
+    )
+    if len(bases) == 1:
+        frags = pieces_for_single_volume(indexes[0], cfg.db_name, nfrag)
+    else:
+        frags = virtual_partition_multi(indexes, bases, nfrag)
+    return queries, info, frags, index_bytes
+
+
+def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
+    comm, cost, ft = ctx.comm, cfg.cost, cfg.ft
+    sim = ctx.engine
+    report = ctx.fault_report
+    nfrag = cfg.fragments_for(ctx.size - 1)
+    ctx.compute(cost.init_seconds())
+
+    queries, info, frags, index_bytes = _ft_setup(ctx, cfg)
+    setup_blob = (queries, info, frags, index_bytes)
+    engine = BlastSearch(cfg.search)
+    writer = writer_for(engine, info)
+    out = cfg.output_path
+
+    # ---- scheduler state ------------------------------------------------
+    alive: set[int] = set(range(1, ctx.size))
+    dead: set[int] = set()
+    last_seen: dict[int, float] = {w: 0.0 for w in alive}
+    assigned: dict[int, int] = {}        # worker -> fid being (re)searched
+    assigner = GreedyAssigner(nfrag)     # first-search queue
+    research: list[int] = []             # completed fids needing re-search
+    frag_results: dict[int, list[list[AlignmentMeta]]] = {}
+    holders: dict[int, set[int]] = {f: set() for f in range(nfrag)}
+    reply_cache: dict[int, tuple[int, Any]] = {}
+    state = "search"
+    # output-phase state
+    out_round = 0
+    pending: set[int] = set()            # fids with unconfirmed blocks
+    dispatched: dict[int, tuple[int, float]] = {}  # fid -> (worker, t)
+    current_sels: dict[int, list[tuple[int, int]]] = {}
+
+    # ---- helpers --------------------------------------------------------
+    def compute_layout(writable: set[int]):
+        """Offsets for master pieces + worker blocks over ``writable``."""
+        per_query: list[list[AlignmentMeta]] = [[] for _ in queries]
+        for fid in sorted(writable):
+            for qi, metas in enumerate(frag_results[fid]):
+                per_query[qi].extend(metas)
+        pieces: list[tuple[int, bytes]] = []
+        sel_by_fid: dict[int, list[tuple[int, int]]] = {}
+        pre = writer.preamble()
+        pieces.append((0, pre))
+        off = len(pre)
+        for qi, qrec in enumerate(queries):
+            ctx.compute(cost.merge_seconds(len(per_query[qi])))
+            selected = merge_select(per_query[qi], cfg.search.max_alignments)
+            header = header_bytes_for(writer, qrec, selected)
+            pieces.append((off, header))
+            off += len(header)
+            for m in selected:
+                # owner_rank carries the fragment id in FT mode
+                sel_by_fid.setdefault(m.owner_rank, []).append(
+                    (m.local_id, off)
+                )
+                off += m.block_nbytes
+            footer = footer_bytes_for(writer, engine, qrec, info)
+            pieces.append((off, footer))
+            off += len(footer)
+        return pieces, sel_by_fid
+
+    def start_output_round(writable: set[int]) -> None:
+        nonlocal out_round, pending, dispatched, current_sels
+        out_round += 1
+        missing = sorted(set(range(nfrag)) - writable)
+        if missing:
+            report.degraded = True
+            report.missing_fragments = missing
+            report.record(sim.now, "detect:degraded", tuple(missing))
+        pieces, current_sels = compute_layout(writable)
+        # Relayouts shrink the file; rewrite it from scratch so no stale
+        # tail bytes from an earlier, larger layout survive.
+        ctx.fs.delete(out)
+        with ctx.phase("output"):
+            for off, buf in pieces:
+                retry_io(
+                    sim,
+                    lambda off=off, buf=buf: ctx.fs.write(
+                        out, off, buf, charge_bytes=cost.wire_bytes(len(buf))
+                    ),
+                    attempts=ft.io_attempts,
+                    report=report,
+                    what="write:output",
+                )
+        pending = {f for f, sels in current_sels.items() if sels}
+        dispatched = {}
+        ensure_progress()
+
+    def queue_research(fid: int) -> None:
+        if fid not in research and fid not in assigned.values():
+            insort(research, fid)
+            report.record(sim.now, "recover:research", fid)
+
+    def ensure_progress() -> None:
+        """Every pending fid must have a live holder or be re-queued."""
+        if state != "output":
+            return
+        for fid in sorted(pending):
+            if fid in dispatched or (holders[fid] & alive):
+                continue
+            queue_research(fid)
+
+    def declare_dead(w: int, why: str) -> None:
+        if w in dead:
+            return
+        dead.add(w)
+        alive.discard(w)
+        report.record(sim.now, "detect:worker-dead", w, why)
+        if w not in report.dead_ranks:
+            # Not every declared-dead worker was killed by the plan (a
+            # straggler can be declared dead and later revived); this
+            # ledger tracks the master's *belief*.
+            pass
+        assigner.drop_worker(w)
+        for fid in holders:
+            holders[fid].discard(w)
+        fid = assigned.pop(w, None)
+        if fid is not None:
+            if fid not in frag_results:
+                if assigner.requeue(fid):
+                    report.record(sim.now, "recover:requeue", fid, w)
+            elif state == "output" and fid in pending:
+                queue_research(fid)
+        for dfid, (dw, _t) in list(dispatched.items()):
+            if dw == w:
+                dispatched.pop(dfid)
+                report.record(sim.now, "recover:rehome-write", dfid, w)
+        ensure_progress()
+
+    def revive(w: int) -> None:
+        dead.discard(w)
+        alive.add(w)
+        report.record(sim.now, "recover:revive", w)
+
+    def check_deaths() -> None:
+        now = sim.now
+        writing = {dw for dw, _t in dispatched.values()}
+        for w in sorted(alive):
+            quiet = now - last_seen[w]
+            if w in writing and quiet > ft.write_timeout:
+                declare_dead(w, "write-timeout")
+            elif quiet > ft.search_timeout:
+                declare_dead(
+                    w, "search-timeout" if w in assigned else "silent"
+                )
+
+    def work_reply(w: int):
+        nonlocal state
+        now = sim.now
+        if state == "search":
+            fid = assigner.assign(w)
+            if fid is not None:
+                assigned[w] = fid
+                return ("frag", fid)
+            if len(frag_results) == nfrag:
+                state = "output"
+                start_output_round(set(frag_results))
+                return work_reply(w)
+            return ("wait", ft.poll_backoff)
+        # output state
+        if research:
+            fid = research.pop(0)
+            assigned[w] = fid
+            return ("frag", fid)
+        fid = assigner.assign(w)  # degraded entry may leave first-search work
+        if fid is not None:
+            assigned[w] = fid
+            return ("frag", fid)
+        sels: list[tuple[int, int, int]] = []
+        mine: list[int] = []
+        for fid in sorted(pending):
+            if fid in dispatched:
+                continue
+            if w in holders[fid]:
+                mine.append(fid)
+                sels.extend(
+                    (fid, lid, off) for lid, off in current_sels[fid]
+                )
+        if mine:
+            for fid in mine:
+                dispatched[fid] = (w, now)
+            return ("select", (out_round, sels))
+        if pending:
+            return ("wait", ft.poll_backoff)
+        return ("done", None)
+
+    def handle(w: int, kind: str, data: Any):
+        nonlocal state
+        if kind == "hello":
+            return ("setup", setup_blob)
+        if kind == "result":
+            fid, metas = data
+            holders[fid].add(w)
+            if assigned.get(w) == fid:
+                assigned.pop(w)
+            if fid not in frag_results:
+                frag_results[fid] = metas
+                assigner.mark_completed(fid)
+            else:
+                report.record(sim.now, "recover:dup-result", fid, w)
+            if state == "search" and len(frag_results) == nfrag:
+                state = "output"
+                start_output_round(set(frag_results))
+            return ("ok", None)
+        if kind == "wrote":
+            round_no, fids = data
+            if round_no == out_round:
+                for fid in fids:
+                    dw, _t = dispatched.get(fid, (None, 0.0))
+                    if dw == w:
+                        dispatched.pop(fid)
+                        pending.discard(fid)
+            return ("ok", None)
+        if kind == "work":
+            return work_reply(w)
+        raise RuntimeError(f"unknown FT request kind {kind!r}")
+
+    # ---- serve loop -----------------------------------------------------
+    done_since: float | None = None
+    while True:
+        msg = comm.recv_with_timeout(tag=TAG_FT_REQ, timeout=ft.master_tick)
+        now = sim.now
+        if msg is not TIMEOUT:
+            # Refresh the sender's liveness *before* the death sweep so
+            # a slow worker is not declared dead by its own message.
+            w, seq, kind, data = msg
+            if w in dead:
+                revive(w)
+                ensure_progress()
+            last_seen[w] = now
+        # Death checks run every iteration: with several healthy workers
+        # polling, the receive above may never time out, and a dead
+        # worker must still be detected promptly.
+        check_deaths()
+        if msg is TIMEOUT:
+            if state == "search" and not alive:
+                # Degraded: nobody left to search the missing fragments.
+                state = "output"
+                start_output_round(
+                    set(frag_results) if alive else set()
+                )
+            elif state == "output" and not alive and pending:
+                # Everyone died mid-output: shrink to what the master
+                # can write alone (headers/footers over nothing).
+                start_output_round(set())
+            if state == "output" and not pending and not research:
+                if done_since is None:
+                    done_since = now
+                elif now - done_since > ft.linger:
+                    break
+            continue
+        done_since = None
+        cached = reply_cache.get(w)
+        if cached is not None and cached[0] == seq:
+            comm.isend(cached, dest=w, tag=TAG_FT_REPLY)
+            continue
+        body = handle(w, kind, data)
+        reply_cache[w] = (seq, body)
+        comm.isend((seq, body), dest=w, tag=TAG_FT_REPLY)
+
+    # Final accounting: fragments the report never saw results for.
+    missing = sorted(set(range(nfrag)) - set(frag_results))
+    if missing and not report.missing_fragments:
+        report.degraded = True
+        report.missing_fragments = missing
+
+
+def _ft_search_fragment(
+    ctx: ProcContext,
+    cfg: ParallelConfig,
+    engine: BlastSearch,
+    writer,
+    queries,
+    info: GlobalDbInfo,
+    indexes,
+    pieces: list[VolumePiece],
+    fid: int,
+    blocks: dict[int, list[bytes]],
+) -> list[list[AlignmentMeta]]:
+    """Load + search one fragment; cache rendered blocks under ``fid``.
+
+    Local ids are indices into the fragment's own block list, so any
+    worker that searches ``fid`` produces the same (deterministic)
+    blocks under the same ids — the property that lets the master
+    re-home output writes after a death.
+    """
+    cost, ft = cfg.cost, cfg.ft
+    report = ctx.fault_report
+    frag_vols: list[tuple[VolumePiece, DatabaseVolume]] = []
+    with ctx.phase("input"):
+        for piece in pieces:
+            fx_hr = MPIFile(ctx.comm, ctx.fs, f"{piece.base_name}.xhr")
+            fx_sq = MPIFile(ctx.comm, ctx.fs, f"{piece.base_name}.xsq")
+            xhr = fx_hr.read_at_reliable(
+                *piece.xhr_range,
+                charge_bytes=cost.db_wire_bytes(piece.xhr_range[1]),
+                attempts=ft.io_attempts, report=report,
+            )
+            xsq = fx_sq.read_at_reliable(
+                *piece.xsq_range,
+                charge_bytes=cost.db_wire_bytes(piece.xsq_range[1]),
+                attempts=ft.io_attempts, report=report,
+            )
+            vol = DatabaseVolume(
+                indexes[piece.base_name], xhr, xsq,
+                lo=piece.lo, hi=piece.hi,
+            )
+            frag_vols.append((piece, vol))
+    blist: list[bytes] = []
+    metas_per_query: list[list[AlignmentMeta]] = [[] for _ in queries]
+    with ctx.phase("search"):
+        for piece, volume in frag_vols:
+            per_query = search_fragment_timed(
+                ctx, engine, queries, volume, info, piece.global_base, cost
+            )
+            for qi, als in enumerate(per_query):
+                for al in als:
+                    block = writer.alignment_block(al)
+                    ctx.compute(cost.render_seconds(len(block)))
+                    lid = len(blist)
+                    blist.append(block)
+                    metas_per_query[qi].append(
+                        meta_from_alignment(al, fid, lid, len(block))
+                    )
+    blocks[fid] = blist
+    return metas_per_query
+
+
+def _ft_worker(ctx: ProcContext, cfg: ParallelConfig) -> str:
+    comm, cost, ft = ctx.comm, cfg.cost, cfg.ft
+    report = ctx.fault_report
+    seq = 0
+
+    def rpc(kind: str, data: Any = None) -> Any:
+        """Idempotent RPC to the master; None means we are orphaned."""
+        nonlocal seq
+        seq += 1
+        payload = (ctx.rank, seq, kind, data)
+        for _attempt in range(ft.req_max_attempts):
+            comm.isend(payload, dest=0, tag=TAG_FT_REQ)
+            reply = comm.recv_with_timeout(
+                source=0, tag=TAG_FT_REPLY, timeout=ft.req_timeout
+            )
+            if reply is not TIMEOUT:
+                rseq, body = reply
+                if rseq == seq:
+                    return body
+                # A stale duplicate of an earlier reply; drain and retry.
+        return None
+
+    body = rpc("hello")
+    if body is None:
+        return "orphaned"
+    queries, info, frags, index_bytes = body[1]
+    ctx.compute(cost.init_seconds())
+    indexes = {base: parse_index(data) for base, data in index_bytes.items()}
+    engine = BlastSearch(cfg.search)
+    writer = writer_for(engine, info)
+    blocks: dict[int, list[bytes]] = {}
+
+    while True:
+        body = rpc("work")
+        if body is None:
+            return "orphaned"
+        kind, data = body
+        if kind == "wait":
+            ctx.engine.sleep(data)
+        elif kind == "done":
+            return "done"
+        elif kind == "frag":
+            fid = data
+            metas = _ft_search_fragment(
+                ctx, cfg, engine, writer, queries, info, indexes,
+                frags[fid], fid, blocks,
+            )
+            if rpc("result", (fid, metas)) is None:
+                return "orphaned"
+        elif kind == "select":
+            round_no, sels = data
+            with ctx.phase("output"):
+                f = MPIFile(comm, ctx.fs, cfg.output_path)
+                for fid, lid, off in sels:
+                    blk = blocks[fid][lid]
+                    f.write_at_reliable(
+                        off, blk,
+                        charge_bytes=cost.wire_bytes(len(blk)),
+                        attempts=ft.io_attempts, report=report,
+                    )
+            fids = tuple(sorted({fid for fid, _lid, _off in sels}))
+            if rpc("wrote", (round_no, fids)) is None:
+                return "orphaned"
+        else:  # pragma: no cover - protocol error
+            raise RuntimeError(f"unknown FT reply kind {kind!r}")
+
+
 def _program(ctx: ProcContext) -> Any:
     cfg: ParallelConfig = ctx.args["config"]
+    if ctx.args.get("ft"):
+        if ctx.rank == 0:
+            _ft_master(ctx, cfg)
+        else:
+            return _ft_worker(ctx, cfg)
+        return None
     if ctx.rank == 0:
         _master(ctx, cfg)
     else:
@@ -399,19 +899,29 @@ def run_pioblast(
     store: FileStore,
     config: ParallelConfig,
     platform: PlatformSpec | None = None,
+    *,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Run pioBLAST on a simulated cluster.
 
     ``store`` needs only the *global* formatted database and the query
     file — no pre-partitioning (that is the point).  The report lands at
     ``config.output_path``, byte-identical to the serial reference.
+
+    Passing a ``faults`` plan (or setting ``config.fault_tolerance``)
+    switches to the fault-tolerant pull-RPC driver, which survives
+    worker crashes, control-message drops and transient I/O errors; the
+    resulting :class:`repro.simmpi.FaultReport` is attached to the
+    returned :class:`RunResult`.
     """
     if nprocs < 2:
         raise ValueError("pioBLAST needs a master and at least one worker")
+    ft_mode = config.fault_tolerance or faults is not None
     return run(
         nprocs,
         _program,
         platform,
         shared_store=store,
-        args={"config": config},
+        args={"config": config, "ft": ft_mode},
+        faults=faults,
     )

@@ -20,10 +20,28 @@ results (the BLAST layers on top produce byte-identical output files to a
 serial run).
 """
 
-from repro.simmpi.engine import Engine, SimError, ProcessFailure
+from repro.simmpi.engine import (
+    Engine,
+    SimError,
+    ProcessFailure,
+    RankKilled,
+)
 from repro.simmpi.resource import SharedBandwidth
 from repro.simmpi.network import NetworkModel
-from repro.simmpi.comm import Communicator, Status
+from repro.simmpi.comm import Communicator, Status, TIMEOUT
+from repro.simmpi.faults import (
+    CrashFault,
+    DiskSlowdownFault,
+    FaultPlan,
+    FaultReport,
+    MessageDelayFault,
+    MessageDropFault,
+    NetworkSlowdownFault,
+    StragglerFault,
+    TransientIOError,
+    TransientIOFault,
+    retry_io,
+)
 from repro.simmpi.filesystem import (
     FileStore,
     FilesystemModel,
@@ -45,6 +63,19 @@ __all__ = [
     "Engine",
     "SimError",
     "ProcessFailure",
+    "RankKilled",
+    "TIMEOUT",
+    "CrashFault",
+    "DiskSlowdownFault",
+    "FaultPlan",
+    "FaultReport",
+    "MessageDelayFault",
+    "MessageDropFault",
+    "NetworkSlowdownFault",
+    "StragglerFault",
+    "TransientIOError",
+    "TransientIOFault",
+    "retry_io",
     "SharedBandwidth",
     "NetworkModel",
     "Communicator",

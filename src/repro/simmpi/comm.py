@@ -31,6 +31,19 @@ ANY_TAG = -1
 _COLL_TAG_BASE = -1_000_000
 
 
+class _Timeout:
+    """Sentinel returned by :meth:`Communicator.recv_with_timeout`."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TIMEOUT"
+
+
+#: Returned by ``recv_with_timeout`` when no message arrived in time.
+TIMEOUT = _Timeout()
+
+
 @dataclass
 class Status:
     """Filled in by ``recv``/``probe`` with message envelope details."""
@@ -107,6 +120,10 @@ class Communicator:
         # statistics
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: optional :class:`repro.simmpi.faults.ActiveFaults` hook — the
+        #: launcher attaches it when a fault plan is in force.  Consulted
+        #: on every send for drops, delays and congestion windows.
+        self.faults: Any = None
 
     # ------------------------------------------------------------------
     # rank identity
@@ -129,6 +146,25 @@ class Communicator:
             raise SimError("user tags must be non-negative")
         self._send_internal(obj, dest, tag, nbytes)
 
+    def _fault_check(
+        self, dest: int, tag: int, size: int
+    ) -> tuple[bool, float]:
+        """Consult the fault layer: ``(dropped, extra_arrival_delay)``.
+
+        The extra delay folds in both per-message delay faults and the
+        transient congestion multiplier on the wire time.
+        """
+        if self.faults is None:
+            return False, 0.0
+        now = self.engine.now
+        dropped, extra = self.faults.on_send(self.rank, dest, tag, size, now)
+        slowdown = self.faults.net_factor(now)
+        if slowdown > 1.0:
+            extra += self.network.delivery_time(size, slowdown) - (
+                self.network.delivery_time(size)
+            )
+        return dropped, extra
+
     def _send_internal(
         self, obj: Any, dest: int, tag: int, nbytes: int | None = None
     ) -> None:
@@ -138,12 +174,23 @@ class Communicator:
         self.bytes_sent += size
         # Sender-side software overhead.
         self.engine.sleep(net.overhead)
-        arrival = self.engine.now + net.delivery_time(size)
+        dropped, extra = self._fault_check(dest, tag, size)
+        arrival = self.engine.now + net.delivery_time(size) + extra
+        if dropped:
+            # The sender pays the usual injection cost but the payload
+            # evaporates on the wire.  A rendezvous sender still blocks
+            # for the drain time (the NIC does not know the packets are
+            # being eaten downstream).
+            if not net.is_eager(size):
+                self.engine.sleep_until(arrival)
+            return
         if net.is_eager(size):
             self._deliver_at(arrival, self.rank, dest, tag, obj, size, None)
         else:
             # Rendezvous: sender stays busy until the payload drains.
-            done = self.engine.make_parker()
+            done = self.engine.make_parker(
+                label=f"send(dest={dest}, tag={tag}, rendezvous)"
+            )
             self._deliver_at(arrival, self.rank, dest, tag, obj, size, done)
             self.engine.park(done)
 
@@ -156,7 +203,10 @@ class Communicator:
         self.messages_sent += 1
         self.bytes_sent += size
         self.engine.sleep(self.network.overhead)
-        arrival = self.engine.now + self.network.delivery_time(size)
+        dropped, extra = self._fault_check(dest, tag, size)
+        if dropped:
+            return Request(lambda: None)
+        arrival = self.engine.now + self.network.delivery_time(size) + extra
         self._deliver_at(arrival, self.rank, dest, tag, obj, size, None)
         return Request(lambda: None)
 
@@ -215,6 +265,64 @@ class Communicator:
             status.source, status.tag, status.nbytes = msg.source, msg.tag, msg.nbytes
         return msg.payload
 
+    def recv_with_timeout(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        timeout: float,
+        status: Status | None = None,
+    ) -> Any:
+        """Blocking receive that gives up after ``timeout`` virtual seconds.
+
+        Returns the payload, or the :data:`TIMEOUT` sentinel if nothing
+        matching arrived in time.  This is the primitive that lets a
+        fault-tolerant master keep ticking while a worker is dead: a
+        plain ``recv`` from a crashed rank would park forever and turn
+        the whole run into a deadlock.
+        """
+        if timeout < 0:
+            raise SimError(f"negative timeout: {timeout}")
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        ep = self._endpoints[self.rank]
+        msg = self._match_queued(ep, source, tag, consume=True)
+        if msg is None:
+            self._post_seq += 1
+            parker = self.engine.make_parker(
+                label=f"recv_timeout(src={source}, tag={tag})"
+            )
+            pr = _PendingRecv(self._post_seq, source, tag, parker, consume=True)
+            ep.pending.append(pr)
+
+            def fire_timeout() -> None:
+                # A delivery scheduled for the same instant may have
+                # already matched (and removed) the pending entry; the
+                # message wins the race and the timeout is a no-op.
+                try:
+                    ep.pending.remove(pr)
+                except ValueError:
+                    return
+                self.engine.unpark_at(parker, self.engine.now, TIMEOUT)
+
+            ev = self.engine.schedule(
+                self.engine.now + timeout, fire_timeout
+            )
+            got = self.engine.park(parker)
+            if got is TIMEOUT:
+                return TIMEOUT
+            self.engine.cancel(ev)
+            msg = got
+        else:
+            self._complete_rendezvous(msg)
+        # Receiver-side software overhead (charged only on success).
+        self.engine.sleep(self.network.overhead)
+        if status is not None:
+            status.source, status.tag, status.nbytes = (
+                msg.source, msg.tag, msg.nbytes,
+            )
+        return msg.payload
+
     def irecv(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> Request:
@@ -227,7 +335,9 @@ class Communicator:
             self._complete_rendezvous(msg)
             return Request(lambda: msg.payload)
         self._post_seq += 1
-        parker = self.engine.make_parker()
+        parker = self.engine.make_parker(
+            label=f"irecv(src={source}, tag={tag})"
+        )
         ep.pending.append(
             _PendingRecv(self._post_seq, source, tag, parker, consume=True)
         )
@@ -276,7 +386,10 @@ class Communicator:
                 self._complete_rendezvous(msg)
             return msg
         self._post_seq += 1
-        parker = self.engine.make_parker()
+        what = "recv" if consume else "probe"
+        parker = self.engine.make_parker(
+            label=f"{what}(src={source}, tag={tag})"
+        )
         ep.pending.append(
             _PendingRecv(self._post_seq, source, tag, parker, consume)
         )

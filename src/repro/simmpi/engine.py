@@ -48,6 +48,18 @@ class ProcessFailure(SimError):
         self.tb = tb
 
 
+class RankKilled(SimError):
+    """Injected crash: unwinds a killed rank's program at its next
+    simulated operation.  Unlike :class:`ProcessFailure`, a killed rank
+    does *not* abort the run — the engine records it in ``dead_ranks``
+    and the simulation continues with the survivors (this is the hook
+    the fault-injection layer uses; see :mod:`repro.simmpi.faults`)."""
+
+    def __init__(self, rank: int):
+        super().__init__(f"rank {rank} was killed by fault injection")
+        self.rank = rank
+
+
 @dataclass(order=True)
 class _Event:
     time: float
@@ -59,7 +71,8 @@ class _Event:
 class _RankThread:
     """Bookkeeping for one simulated process."""
 
-    __slots__ = ("rank", "thread", "cv", "state", "waiting_on", "exc")
+    __slots__ = ("rank", "thread", "cv", "state", "waiting_on", "exc",
+                 "killed")
 
     def __init__(self, rank: int, cv: threading.Condition):
         self.rank = rank
@@ -69,17 +82,25 @@ class _RankThread:
         self.state = "new"
         self.waiting_on: "Parker | None" = None
         self.exc: ProcessFailure | None = None
+        self.killed = False
 
 
 class Parker:
-    """A one-shot parking slot owned by one rank thread."""
+    """A one-shot parking slot owned by one rank thread.
 
-    __slots__ = ("owner", "woken", "value")
+    ``label`` is purely diagnostic: it names what the owner is waiting
+    for (``recv(src=0, tag=12)``, ``sleep``, ``nfs:transfer`` ...) so
+    that deadlock errors can say *what* every parked rank was blocked
+    on — essential once fault injection can strand collectives.
+    """
 
-    def __init__(self, owner: _RankThread):
+    __slots__ = ("owner", "woken", "value", "label")
+
+    def __init__(self, owner: _RankThread, label: str | None = None):
         self.owner = owner
         self.woken = False
         self.value: Any = None
+        self.label = label
 
 
 class Engine:
@@ -95,6 +116,10 @@ class Engine:
         self._started = False
         self._failures: list[ProcessFailure] = []
         self._tls = threading.local()
+        #: ranks removed by fault injection (see :meth:`kill_rank`)
+        self.dead_ranks: set[int] = set()
+        #: optional observer called as ``fn(rank, time)`` when a kill fires
+        self.on_rank_killed: Callable[[int, float], None] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -109,6 +134,10 @@ class Engine:
             self._tls.rank_thread = rt
             try:
                 fn()
+            except RankKilled:
+                # Injected crash: the rank simply ceases to exist.  Not a
+                # failure of the run — survivors carry on.
+                pass
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 rt.exc = ProcessFailure(rank, exc, traceback.format_exc())
             finally:
@@ -151,15 +180,17 @@ class Engine:
             raise SimError("blocking primitive called outside a rank thread")
         return rt
 
-    def make_parker(self) -> Parker:
+    def make_parker(self, label: str | None = None) -> Parker:
         """Create a parking slot owned by the calling rank thread."""
-        return Parker(self._me())
+        return Parker(self._me(), label)
 
     def park(self, parker: Parker) -> Any:
         """Block on ``parker`` until it is woken; returns the wake value."""
         rt = self._me()
         if parker.owner is not rt:
             raise SimError("cannot park on another thread's parker")
+        if rt.killed:
+            raise RankKilled(rt.rank)
         with self._lock:
             if not parker.woken:
                 rt.waiting_on = parker
@@ -168,6 +199,8 @@ class Engine:
                 while rt.state != "running":
                     rt.cv.wait()
                 rt.waiting_on = None
+            if rt.killed:
+                raise RankKilled(rt.rank)
             if not parker.woken:
                 raise SimError("spurious wakeup without unpark")
             return parker.value
@@ -179,7 +212,7 @@ class Engine:
         self.sleep_until(self.now + dt)
 
     def sleep_until(self, t: float) -> None:
-        p = self.make_parker()
+        p = self.make_parker(label="sleep")
         self.unpark_at(p, t)
         self.park(p)
 
@@ -187,17 +220,53 @@ class Engine:
         """Schedule the wake of ``parker`` at virtual time ``t``."""
 
         def wake() -> None:
+            owner = parker.owner
+            if owner.killed:
+                # The owner was crashed by fault injection; the wake is
+                # addressed to nobody.  Dropping it keeps in-flight
+                # deliveries/transfers from waking a corpse.
+                return
             if parker.woken:
                 raise SimError("parker woken twice")
             parker.woken = True
             parker.value = value
-            owner = parker.owner
             if owner.waiting_on is parker:
                 self._run_thread(owner)
             # else: the value is stored; the owner will pick it up when it
             # parks on this parker (pre-posted receive semantics).
 
         self.schedule(t, wake)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def kill_rank_at(self, rank: int, t: float) -> None:
+        """Schedule an injected crash of ``rank`` at virtual time ``t``."""
+        self.schedule(t, lambda: self.kill_rank(rank))
+
+    def kill_rank(self, rank: int) -> None:
+        """(scheduler action) Crash ``rank`` now.
+
+        The rank's thread unwinds with :class:`RankKilled` at its next
+        (or current) blocking operation; any wake later addressed to one
+        of its parkers is silently dropped.  Killing a finished or
+        already-dead rank is a no-op.
+        """
+        rt = next((r for r in self._ranks if r.rank == rank), None)
+        if rt is None:
+            raise SimError(f"kill_rank: no such rank {rank}")
+        if rt.state == "done" or rt.killed:
+            return
+        rt.killed = True
+        self.dead_ranks.add(rank)
+        if self.on_rank_killed is not None:
+            self.on_rank_killed(rank, self.now)
+        if rt.state == "blocked":
+            # Wake the thread so park() observes the kill and unwinds.
+            self._run_thread(rt)
+        # state 'new': the kill takes effect at the rank's first blocking
+        # operation after activation; 'running' cannot happen here (kill
+        # actions run on the scheduler thread).
 
     # ------------------------------------------------------------------
     # scheduler
@@ -236,10 +305,33 @@ class Engine:
                     raise self._failures[0]
             blocked = [rt.rank for rt in self._ranks if rt.state == "blocked"]
             if blocked:
-                raise SimError(
-                    f"deadlock: ranks {blocked} blocked with empty event queue"
-                )
+                raise SimError(self._deadlock_message(blocked))
         return self.now
+
+    def _deadlock_message(self, blocked: list[int]) -> str:
+        """Name every parked rank, what it is parked on, and the dead.
+
+        When fault injection crashes a rank mid-collective, the other
+        ranks block forever on receives that can never be satisfied; the
+        error message must say who is stuck on what (and who died) or
+        the hang is undebuggable.
+        """
+        lines = [
+            f"deadlock: ranks {blocked} blocked with empty event queue"
+        ]
+        for rt in self._ranks:
+            if rt.state != "blocked":
+                continue
+            p = rt.waiting_on
+            what = (p.label if p is not None and p.label else
+                    "<unlabelled parker>")
+            lines.append(f"  rank {rt.rank} parked on {what}")
+        if self.dead_ranks:
+            lines.append(
+                f"  dead ranks (killed by fault injection): "
+                f"{sorted(self.dead_ranks)}"
+            )
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # introspection

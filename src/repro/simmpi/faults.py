@@ -1,0 +1,607 @@
+"""Deterministic fault injection for the simmpi stack.
+
+The paper's systems are evaluated on a happy-path cluster; production
+BLAST services are not so lucky.  This module makes degraded operation a
+first-class, *replayable* simulation input:
+
+- a :class:`FaultPlan` is an immutable, seedable description of every
+  fault to inject — rank crashes at virtual times, transient disk
+  slowdowns and I/O errors, network congestion windows, message drops
+  and delays, and CPU stragglers;
+- activating a plan against a cluster wires small hooks into the engine
+  (kills), the communicator (drops/delays), the filesystem models
+  (transient errors), the bandwidth pipes (slow-disk windows) and the
+  compute charge path (stragglers);
+- a :class:`FaultReport` accumulates everything that was *injected* and
+  everything the drivers *detected/recovered* — because the engine is a
+  deterministic discrete-event simulation, replaying the same plan and
+  workload reproduces the report bit-for-bit, which is what lets the
+  chaos suite assert on recovery behaviour.
+
+Nothing here imports the BLAST layers; the fault model is a property of
+the simulated hardware, not of any particular driver.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.simmpi.engine import Engine, SimError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.launcher import Cluster
+
+ANY = -1  # wildcard rank/tag in message fault specs
+
+
+class TransientIOError(SimError):
+    """An injected, retriable I/O failure (lost RPC, EIO, timeout)."""
+
+    def __init__(self, op: str, path: str):
+        super().__init__(f"injected transient I/O error: {op} {path!r}")
+        self.op = op
+        self.path = path
+
+
+# ----------------------------------------------------------------------
+# fault specifications (immutable, hashable, order-independent)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrashFault:
+    """Kill ``rank`` at virtual time ``time``."""
+
+    rank: int
+    time: float
+
+
+@dataclass(frozen=True)
+class DiskSlowdownFault:
+    """Degrade the shared filesystem pipe to ``factor`` × nominal speed
+    during ``[start, start + duration)``."""
+
+    start: float
+    duration: float
+    factor: float  # 0 < factor < 1 slows the disk down
+
+
+@dataclass(frozen=True)
+class NetworkSlowdownFault:
+    """Multiply message delivery times by ``factor`` (>= 1) for every
+    message injected during ``[start, start + duration)``."""
+
+    start: float
+    duration: float
+    factor: float
+
+
+@dataclass(frozen=True)
+class TransientIOFault:
+    """Fail the next ``count`` timed filesystem ops matching
+    ``path_prefix`` (and ``op`` unless empty) once ``start`` passes."""
+
+    path_prefix: str = ""
+    start: float = 0.0
+    count: int = 1
+    op: str = ""  # "", "read", "write", "append"
+
+
+@dataclass(frozen=True)
+class MessageDropFault:
+    """Silently drop matching messages.
+
+    ``source``/``dest``/``tag`` may be :data:`ANY`.  The first ``skip``
+    matching messages pass, then ``count`` are dropped, then the channel
+    heals — drops are always finite, so retrying protocols converge.
+    """
+
+    source: int = ANY
+    dest: int = ANY
+    tag: int = ANY
+    skip: int = 0
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class MessageDelayFault:
+    """Add ``extra`` seconds to each matching message's delivery, with
+    probability ``prob`` (drawn from the plan's seeded RNG)."""
+
+    source: int = ANY
+    dest: int = ANY
+    tag: int = ANY
+    extra: float = 0.0
+    prob: float = 1.0
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Run ``rank``'s compute at ``factor`` × nominal speed during
+    ``[start, start + duration)`` (factor < 1 is a slow node)."""
+
+    rank: int
+    factor: float
+    start: float = 0.0
+    duration: float = math.inf
+
+
+FaultEventSpec = (
+    CrashFault
+    | DiskSlowdownFault
+    | NetworkSlowdownFault
+    | TransientIOFault
+    | MessageDropFault
+    | MessageDelayFault
+    | StragglerFault
+)
+
+
+# ----------------------------------------------------------------------
+# fault report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultEvent:
+    """One recorded occurrence (injected, detected, or recovered)."""
+
+    time: float
+    kind: str
+    detail: tuple
+
+    def as_tuple(self) -> tuple:
+        return (round(self.time, 9), self.kind, self.detail)
+
+
+class FaultReport:
+    """Deterministic ledger of faults and the system's response.
+
+    Kinds use a ``family:what`` convention: ``inject:*`` for executed
+    plan events, ``detect:*`` for driver-side failure detection, and
+    ``recover:*`` for retries/reassignments.  ``as_tuple()`` is the
+    replay-comparison key: two runs of the same plan + workload must
+    produce identical tuples.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[FaultEvent] = []
+        self.missing_fragments: list[int] = []
+        self.dead_ranks: list[int] = []
+        self.degraded: bool = False
+
+    def record(self, time: float, kind: str, *detail: Any) -> None:
+        self.events.append(FaultEvent(time, kind, tuple(detail)))
+
+    def count(self, kind_prefix: str) -> int:
+        return sum(1 for e in self.events if e.kind.startswith(kind_prefix))
+
+    def kinds(self) -> list[str]:
+        return sorted({e.kind for e in self.events})
+
+    def as_tuple(self) -> tuple:
+        return (
+            tuple(e.as_tuple() for e in self.events),
+            tuple(self.missing_fragments),
+            tuple(self.dead_ranks),
+            self.degraded,
+        )
+
+    @property
+    def empty(self) -> bool:
+        return not self.events and not self.missing_fragments
+
+    def summary(self) -> str:
+        """Human-readable digest (CLI ``--faults`` output)."""
+        if self.empty:
+            return "faults: none injected, none detected"
+        lines = ["fault report:"]
+        for fam, label in (
+            ("inject:", "injected"),
+            ("detect:", "detected"),
+            ("recover:", "recovered"),
+        ):
+            n = self.count(fam)
+            if n:
+                kinds = sorted(
+                    {e.kind.split(":", 1)[1] for e in self.events
+                     if e.kind.startswith(fam)}
+                )
+                lines.append(f"  {label:>9}: {n:3d}  ({', '.join(kinds)})")
+        if self.dead_ranks:
+            lines.append(f"  dead ranks: {sorted(set(self.dead_ranks))}")
+        if self.missing_fragments:
+            lines.append(
+                f"  MISSING FRAGMENTS (degraded result): "
+                f"{sorted(self.missing_fragments)}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, replayable schedule of faults.
+
+    ``seed`` feeds the runtime RNG used by probabilistic faults
+    (:class:`MessageDelayFault`); everything else is fully explicit, so
+    the same plan against the same workload replays identically.
+    """
+
+    events: tuple[FaultEventSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for ev in self.events:
+            if isinstance(ev, CrashFault) and ev.time < 0:
+                raise ValueError(f"crash in the past: {ev}")
+            if isinstance(ev, (DiskSlowdownFault, NetworkSlowdownFault)):
+                if ev.duration <= 0 or ev.factor <= 0:
+                    raise ValueError(f"bad slowdown window: {ev}")
+            if isinstance(ev, MessageDropFault) and ev.count < 1:
+                raise ValueError(f"drop fault must drop >= 1: {ev}")
+            if isinstance(ev, StragglerFault) and ev.factor <= 0:
+                raise ValueError(f"bad straggler factor: {ev}")
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        nprocs: int,
+        *,
+        horizon: float = 2.0,
+        max_crashes: int = 1,
+        allow_kinds: tuple[str, ...] = (
+            "crash", "slowdisk", "straggler", "ioerr",
+        ),
+        droppable_tags: tuple[int, ...] = (),
+    ) -> "FaultPlan":
+        """A deterministic pseudo-random plan for chaos testing.
+
+        Never crashes rank 0 (the masters are the drivers' single
+        coordinator — surviving master loss is future work) and never
+        crashes *all* workers, so recovery is always possible.  Message
+        drops are only generated against ``droppable_tags`` — the
+        retriable control-plane tags a fault-tolerant protocol owns.
+        """
+        if nprocs < 3:
+            raise ValueError("chaos plans need >= 3 ranks (master + 2)")
+        rng = random.Random(seed)
+        events: list[FaultEventSpec] = []
+        workers = list(range(1, nprocs))
+        if "crash" in allow_kinds and max_crashes > 0:
+            ncrash = rng.randint(1, min(max_crashes, len(workers) - 1))
+            for rank in rng.sample(workers, ncrash):
+                events.append(
+                    CrashFault(rank, round(rng.uniform(0.0, horizon), 6))
+                )
+        if "slowdisk" in allow_kinds and rng.random() < 0.7:
+            events.append(
+                DiskSlowdownFault(
+                    start=round(rng.uniform(0.0, horizon), 6),
+                    duration=round(rng.uniform(0.1, horizon), 6),
+                    factor=round(rng.uniform(0.05, 0.5), 3),
+                )
+            )
+        if "netslow" in allow_kinds and rng.random() < 0.5:
+            events.append(
+                NetworkSlowdownFault(
+                    start=round(rng.uniform(0.0, horizon), 6),
+                    duration=round(rng.uniform(0.1, horizon), 6),
+                    factor=round(rng.uniform(1.5, 8.0), 3),
+                )
+            )
+        if "straggler" in allow_kinds and rng.random() < 0.6:
+            events.append(
+                StragglerFault(
+                    rank=rng.choice(workers),
+                    factor=round(rng.uniform(0.1, 0.6), 3),
+                    start=round(rng.uniform(0.0, horizon), 6),
+                )
+            )
+        if "ioerr" in allow_kinds and rng.random() < 0.6:
+            events.append(
+                TransientIOFault(
+                    path_prefix="",
+                    start=round(rng.uniform(0.0, horizon), 6),
+                    count=rng.randint(1, 3),
+                )
+            )
+        if "drop" in allow_kinds and droppable_tags:
+            for _ in range(rng.randint(1, 3)):
+                events.append(
+                    MessageDropFault(
+                        tag=rng.choice(list(droppable_tags)),
+                        skip=rng.randint(0, 5),
+                        count=rng.randint(1, 2),
+                    )
+                )
+        return cls(events=tuple(events), seed=seed)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the CLI mini-language (``--faults``).
+
+        Tokens separated by ``;`` or ``,``::
+
+            seed=42                    RNG seed for probabilistic faults
+            kill=R@T                   crash rank R at time T
+            slowdisk=FxD@T             disk at F x speed for D s from T
+            netslow=FxD@T              network F x slower for D s from T
+            straggler=RxF@T            rank R computes at F x speed from T
+            ioerr=PREFIX@TnC           C transient I/O errors on PREFIX*
+            drop=S>D:TAGnC             drop C messages S->D with TAG
+                                       (S, D, TAG may be ``*``)
+        """
+        events: list[FaultEventSpec] = []
+        seed = 0
+
+        def _rank(tok: str) -> int:
+            return ANY if tok == "*" else int(tok)
+
+        for raw in spec.replace(";", ",").split(","):
+            tok = raw.strip()
+            if not tok:
+                continue
+            try:
+                key, val = tok.split("=", 1)
+            except ValueError:
+                raise ValueError(f"bad fault token {tok!r}") from None
+            key = key.strip()
+            if key == "seed":
+                seed = int(val)
+            elif key == "kill":
+                r, t = val.split("@")
+                events.append(CrashFault(int(r), float(t)))
+            elif key in ("slowdisk", "netslow"):
+                fxd, t = val.split("@")
+                f, d = fxd.split("x")
+                c = DiskSlowdownFault if key == "slowdisk" else (
+                    NetworkSlowdownFault)
+                events.append(
+                    c(start=float(t), duration=float(d), factor=float(f))
+                )
+            elif key == "straggler":
+                rxf, t = val.split("@")
+                r, f = rxf.split("x")
+                events.append(
+                    StragglerFault(int(r), float(f), start=float(t))
+                )
+            elif key == "ioerr":
+                prefix, tail = val.split("@")
+                t, n = tail.split("n") if "n" in tail else (tail, "1")
+                events.append(
+                    TransientIOFault(prefix, start=float(t), count=int(n))
+                )
+            elif key == "drop":
+                src, rest = val.split(">")
+                dst, rest = rest.split(":")
+                tag, n = rest.split("n") if "n" in rest else (rest, "1")
+                events.append(
+                    MessageDropFault(
+                        source=_rank(src), dest=_rank(dst),
+                        tag=ANY if tag == "*" else int(tag), count=int(n),
+                    )
+                )
+            else:
+                raise ValueError(f"unknown fault kind {key!r}")
+        return cls(events=tuple(events), seed=seed)
+
+    # -- introspection --------------------------------------------------
+    def describe(self) -> list[str]:
+        return [repr(e) for e in self.events]
+
+    def crashes(self) -> list[CrashFault]:
+        return [e for e in self.events if isinstance(e, CrashFault)]
+
+    # -- activation -----------------------------------------------------
+    def activate(self, cluster: "Cluster") -> "ActiveFaults":
+        """Wire this plan into a freshly built cluster."""
+        return ActiveFaults(self, cluster)
+
+
+# ----------------------------------------------------------------------
+# the runtime
+# ----------------------------------------------------------------------
+class _DropState:
+    __slots__ = ("spec", "passed", "dropped")
+
+    def __init__(self, spec: MessageDropFault):
+        self.spec = spec
+        self.passed = 0
+        self.dropped = 0
+
+
+class _IOErrState:
+    __slots__ = ("spec", "remaining")
+
+    def __init__(self, spec: TransientIOFault):
+        self.spec = spec
+        self.remaining = spec.count
+
+
+class ActiveFaults:
+    """A plan bound to one cluster: schedules events, answers hooks.
+
+    The communicator, filesystem models and launcher consult this object
+    through three tiny hook methods (:meth:`on_send`, :meth:`on_io`,
+    :meth:`cpu_factor`); everything it does is a deterministic function
+    of the plan, the seed, and the simulation's own event order.
+    """
+
+    def __init__(self, plan: FaultPlan, cluster: "Cluster") -> None:
+        self.plan = plan
+        self.engine: Engine = cluster.engine
+        self.report: FaultReport = cluster.fault_report
+        self.rng = random.Random(plan.seed)
+        self._drops: list[_DropState] = []
+        self._delays: list[MessageDelayFault] = []
+        self._ioerrs: list[_IOErrState] = []
+        self._net_windows: list[NetworkSlowdownFault] = []
+        self._stragglers: list[StragglerFault] = []
+
+        eng = self.engine
+        report = self.report
+
+        def _on_killed(rank: int, t: float) -> None:
+            report.record(t, "inject:crash", rank)
+            report.dead_ranks.append(rank)
+
+        eng.on_rank_killed = _on_killed
+
+        for ev in plan.events:
+            if isinstance(ev, CrashFault):
+                if ev.rank >= cluster.nprocs:
+                    raise SimError(
+                        f"crash fault for rank {ev.rank} but cluster has "
+                        f"{cluster.nprocs} ranks"
+                    )
+                eng.kill_rank_at(ev.rank, ev.time)
+            elif isinstance(ev, DiskSlowdownFault):
+                self._schedule_disk_window(cluster, ev)
+            elif isinstance(ev, NetworkSlowdownFault):
+                self._net_windows.append(ev)
+                eng.schedule(
+                    ev.start,
+                    lambda ev=ev: report.record(
+                        eng.now, "inject:netslow", ev.factor, ev.duration
+                    ),
+                )
+            elif isinstance(ev, TransientIOFault):
+                self._ioerrs.append(_IOErrState(ev))
+            elif isinstance(ev, MessageDropFault):
+                self._drops.append(_DropState(ev))
+            elif isinstance(ev, MessageDelayFault):
+                self._delays.append(ev)
+            elif isinstance(ev, StragglerFault):
+                self._stragglers.append(ev)
+                eng.schedule(
+                    ev.start,
+                    lambda ev=ev: report.record(
+                        eng.now, "inject:straggler", ev.rank, ev.factor
+                    ),
+                )
+            else:  # pragma: no cover - exhaustive over spec types
+                raise SimError(f"unknown fault spec {ev!r}")
+
+    # ------------------------------------------------------------------
+    def _schedule_disk_window(
+        self, cluster: "Cluster", ev: DiskSlowdownFault
+    ) -> None:
+        pipe = cluster.shared_fs.pipe
+        eng, report = self.engine, self.report
+
+        def begin() -> None:
+            pipe.set_speed_factor(ev.factor)
+            report.record(eng.now, "inject:slowdisk-begin", ev.factor)
+
+        def end() -> None:
+            pipe.set_speed_factor(1.0)
+            report.record(eng.now, "inject:slowdisk-end", ev.factor)
+
+        eng.schedule(ev.start, begin)
+        eng.schedule(ev.start + ev.duration, end)
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _match(spec_v: int, v: int) -> bool:
+        return spec_v == ANY or spec_v == v
+
+    def net_factor(self, now: float) -> float:
+        f = 1.0
+        for w in self._net_windows:
+            if w.start <= now < w.start + w.duration:
+                f = max(f, w.factor)
+        return f
+
+    def on_send(
+        self, source: int, dest: int, tag: int, nbytes: int, now: float
+    ) -> tuple[bool, float]:
+        """Returns ``(dropped, extra_delay_seconds)`` for one message."""
+        for st in self._drops:
+            s = st.spec
+            if not (
+                self._match(s.source, source)
+                and self._match(s.dest, dest)
+                and self._match(s.tag, tag)
+            ):
+                continue
+            if st.passed < s.skip:
+                st.passed += 1
+                continue
+            if st.dropped < s.count:
+                st.dropped += 1
+                self.report.record(
+                    now, "inject:drop", source, dest, tag, nbytes
+                )
+                return True, 0.0
+        extra = 0.0
+        for d in self._delays:
+            if (
+                self._match(d.source, source)
+                and self._match(d.dest, dest)
+                and self._match(d.tag, tag)
+                and (d.prob >= 1.0 or self.rng.random() < d.prob)
+            ):
+                extra += d.extra
+                self.report.record(
+                    now, "inject:delay", source, dest, tag, d.extra
+                )
+        return False, extra
+
+    def on_io(self, fs_name: str, op: str, path: str, now: float) -> None:
+        """May raise :class:`TransientIOError` for one timed fs op."""
+        for st in self._ioerrs:
+            s = st.spec
+            if st.remaining <= 0 or now < s.start:
+                continue
+            if s.op and s.op != op:
+                continue
+            if not path.startswith(s.path_prefix):
+                continue
+            st.remaining -= 1
+            self.report.record(now, "inject:ioerr", fs_name, op, path)
+            raise TransientIOError(op, path)
+
+    def cpu_factor(self, rank: int, now: float) -> float:
+        f = 1.0
+        for s in self._stragglers:
+            if s.rank == rank and s.start <= now < s.start + s.duration:
+                f *= s.factor
+        return f
+
+
+# ----------------------------------------------------------------------
+# retry helper (virtual-time capped exponential backoff)
+# ----------------------------------------------------------------------
+def retry_io(
+    engine: Engine,
+    fn: Callable[[], Any],
+    *,
+    attempts: int = 6,
+    base_backoff: float = 5e-3,
+    backoff_cap: float = 0.2,
+    report: FaultReport | None = None,
+    what: str = "io",
+) -> Any:
+    """Run ``fn`` retrying :class:`TransientIOError` with capped
+    exponential *virtual* backoff; re-raises after ``attempts`` tries."""
+    delay = base_backoff
+    last: TransientIOError | None = None
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except TransientIOError as exc:
+            last = exc
+            if report is not None:
+                report.record(
+                    engine.now, "recover:io-retry", what, attempt
+                )
+            engine.sleep(min(delay, backoff_cap))
+            delay *= 2
+    assert last is not None
+    raise last

@@ -108,6 +108,15 @@ class FilesystemModel:
         self.name = name
         self.read_ops = 0
         self.write_ops = 0
+        #: optional :class:`repro.simmpi.faults.ActiveFaults` hook — the
+        #: launcher attaches it when a fault plan is in force.  Consulted
+        #: at the top of every *timed* operation; may raise a
+        #: :class:`repro.simmpi.faults.TransientIOError`.
+        self.faults = None
+
+    def _fault_check(self, op: str, path: str) -> None:
+        if self.faults is not None:
+            self.faults.on_io(self.name, op, path, self.engine.now)
 
     # -- timed operations ------------------------------------------------
     # ``charge_bytes`` overrides the byte count used for *timing* (the
@@ -115,6 +124,7 @@ class FilesystemModel:
     # charge scaled-up workloads at paper scale; see repro.costmodel.
     def read(self, path: str, offset: int = 0, size: int | None = None,
              *, charge_bytes: int | None = None) -> bytes:
+        self._fault_check("read", path)
         data = self.store.read(path, offset, size)
         self.read_ops += 1
         self.engine.sleep(self.op_overhead)
@@ -123,6 +133,7 @@ class FilesystemModel:
 
     def write(self, path: str, offset: int, data: bytes,
               *, charge_bytes: int | None = None) -> None:
+        self._fault_check("write", path)
         self.write_ops += 1
         self.engine.sleep(self.op_overhead)
         self.pipe.transfer(len(data) if charge_bytes is None else charge_bytes)
@@ -130,6 +141,7 @@ class FilesystemModel:
 
     def append(self, path: str, data: bytes,
                *, charge_bytes: int | None = None) -> int:
+        self._fault_check("append", path)
         self.write_ops += 1
         self.engine.sleep(self.op_overhead)
         self.pipe.transfer(len(data) if charge_bytes is None else charge_bytes)

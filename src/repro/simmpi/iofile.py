@@ -65,6 +65,40 @@ class MPIFile:
         self.fs.write(self.path, offset, data, charge_bytes=charge_bytes)
 
     # ------------------------------------------------------------------
+    # fault-hardened individual I/O (retry on injected transient errors)
+    # ------------------------------------------------------------------
+    def read_at_reliable(
+        self, offset: int, size: int,
+        *, charge_bytes: int | None = None,
+        attempts: int = 6, report=None,
+    ) -> bytes:
+        """``read_at`` with capped exponential virtual-time backoff on
+        :class:`repro.simmpi.faults.TransientIOError`."""
+        from repro.simmpi.faults import retry_io
+
+        return retry_io(
+            self.fs.engine,
+            lambda: self.read_at(offset, size, charge_bytes=charge_bytes),
+            attempts=attempts, report=report,
+            what=f"read:{self.path}",
+        )
+
+    def write_at_reliable(
+        self, offset: int, data: bytes,
+        *, charge_bytes: int | None = None,
+        attempts: int = 6, report=None,
+    ) -> None:
+        """``write_at`` with retry/backoff on injected transient errors."""
+        from repro.simmpi.faults import retry_io
+
+        retry_io(
+            self.fs.engine,
+            lambda: self.write_at(offset, data, charge_bytes=charge_bytes),
+            attempts=attempts, report=report,
+            what=f"write:{self.path}",
+        )
+
+    # ------------------------------------------------------------------
     # file views + collective I/O
     # ------------------------------------------------------------------
     def set_view(self, view: FileView) -> None:

@@ -15,6 +15,7 @@ from typing import Any, Callable
 
 from repro.simmpi.comm import Communicator
 from repro.simmpi.engine import Engine
+from repro.simmpi.faults import FaultPlan, FaultReport
 from repro.simmpi.filesystem import (
     FileStore,
     FilesystemModel,
@@ -96,6 +97,8 @@ class ProcContext:
         self.phases = cluster.phases
         self.platform = cluster.platform
         self.args = args
+        self.faults = cluster.faults
+        self.fault_report = cluster.fault_report
         self.result: Any = None  # program-visible per-rank result slot
 
     @property
@@ -104,10 +107,14 @@ class ProcContext:
 
     def compute(self, seconds: float) -> None:
         """Charge ``seconds`` of single-CPU work (scaled by this rank's
-        speed, which may be heterogeneous)."""
+        speed, which may be heterogeneous, and by any active straggler
+        fault window)."""
         if seconds < 0:
             raise ValueError(f"negative compute time {seconds}")
-        self.engine.sleep(seconds / self.platform.rank_speed(self.rank))
+        speed = self.platform.rank_speed(self.rank)
+        if self.faults is not None:
+            speed *= self.faults.cpu_factor(self.rank, self.engine.now)
+        self.engine.sleep(seconds / speed)
 
     def phase(self, name: str):
         return self.phases.phase(name)
@@ -122,6 +129,7 @@ class Cluster:
         platform: PlatformSpec,
         *,
         shared_store: FileStore | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError("need at least one process")
@@ -143,6 +151,18 @@ class Cluster:
             ]
         self.timeline = Timeline()
         self.phases = PhaseRecorder(self.engine, nprocs, self.timeline)
+        # A report always exists (drivers record detection/recovery into
+        # it unconditionally); an ActiveFaults runtime only when a plan
+        # was supplied.
+        self.fault_report = FaultReport()
+        self.faults = None
+        if faults is not None and faults.events:
+            self.faults = faults.activate(self)
+            self.comm.faults = self.faults
+            self.shared_fs.faults = self.faults
+            if self.local_disks:
+                for d in self.local_disks:
+                    d.faults = self.faults
 
 
 @dataclass
@@ -160,6 +180,8 @@ class RunResult:
     bytes_sent: int
     fs_read_ops: int
     fs_write_ops: int
+    fault_report: FaultReport | None = None
+    dead_ranks: tuple[int, ...] = ()
 
     def phase_max(self, phase: str) -> float:
         """Max over ranks — the phase's contribution to the makespan."""
@@ -183,14 +205,17 @@ def run(
     *,
     shared_store: FileStore | None = None,
     args: dict[str, Any] | None = None,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Execute ``program`` on every rank of a fresh simulated cluster.
 
     ``shared_store`` lets the caller pre-populate the shared filesystem
     (formatted databases, query files) and inspect outputs afterwards.
+    ``faults`` injects a deterministic :class:`FaultPlan`; the resulting
+    :class:`FaultReport` is returned on the :class:`RunResult`.
     """
     plat = platform if platform is not None else PlatformSpec()
-    cluster = Cluster(nprocs, plat, shared_store=shared_store)
+    cluster = Cluster(nprocs, plat, shared_store=shared_store, faults=faults)
     ctxs = [ProcContext(cluster, r, dict(args or {})) for r in range(nprocs)]
 
     def make_body(ctx: ProcContext) -> Callable[[], None]:
@@ -214,4 +239,6 @@ def run(
         bytes_sent=cluster.comm.bytes_sent,
         fs_read_ops=cluster.shared_fs.read_ops,
         fs_write_ops=cluster.shared_fs.write_ops,
+        fault_report=cluster.fault_report,
+        dead_ranks=tuple(sorted(cluster.engine.dead_ranks)),
     )

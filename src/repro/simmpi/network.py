@@ -81,9 +81,17 @@ class NetworkModel:
     overhead: float = 1e-6
     eager_threshold: int = 64 * 1024
 
-    def delivery_time(self, nbytes: int) -> float:
-        """Time from injection to full arrival of an ``nbytes`` message."""
-        return self.latency + nbytes / self.bandwidth
+    def delivery_time(self, nbytes: int, slowdown: float = 1.0) -> float:
+        """Time from injection to full arrival of an ``nbytes`` message.
+
+        ``slowdown`` models transient congestion (fault-injection
+        windows): both the wire latency and the effective bandwidth are
+        degraded by the factor, so a 2× slowdown doubles the delivery
+        time of every message injected during the window.
+        """
+        if slowdown < 1.0:
+            raise ValueError(f"network slowdown must be >= 1, got {slowdown}")
+        return (self.latency + nbytes / self.bandwidth) * slowdown
 
     def is_eager(self, nbytes: int) -> bool:
         return nbytes <= self.eager_threshold

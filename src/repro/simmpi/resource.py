@@ -61,6 +61,11 @@ class SharedBandwidth:
         self.engine = engine
         self.capacity = float(capacity)
         self.per_stream = float(per_stream) if per_stream else float(capacity)
+        # Nominal (healthy) rates; fault injection degrades the live ones
+        # via :meth:`set_speed_factor` and restores them afterwards.
+        self._base_capacity = self.capacity
+        self._base_per_stream = self.per_stream
+        self.speed_factor = 1.0
         self.name = name
         self._active: list[_Transfer] = []
         self._last_update = 0.0
@@ -78,12 +83,28 @@ class SharedBandwidth:
         self.total_bytes += nbytes
         if nbytes == 0:
             return
-        parker = self.engine.make_parker()
+        parker = self.engine.make_parker(label=f"{self.name}:transfer")
         tr = _Transfer(parker, float(nbytes))
         self._settle()
         self._active.append(tr)
         self._reschedule()
         self.engine.park(parker)
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Degrade (or restore) the pipe to ``factor`` × nominal speed.
+
+        Callable from a scheduled action: in-flight transfers are settled
+        at the old rates up to *now*, then continue at the new rates —
+        the fluid-model semantics of a device that suddenly slows down
+        (fault injection's transient slow-disk windows use this).
+        """
+        if factor <= 0:
+            raise SimError(f"{self.name}: speed factor must be positive")
+        self._settle()
+        self.speed_factor = factor
+        self.capacity = self._base_capacity * factor
+        self.per_stream = self._base_per_stream * factor
+        self._reschedule()
 
     def duration_alone(self, nbytes: float) -> float:
         """Time ``nbytes`` would take with no contention (for models)."""

@@ -50,3 +50,104 @@ class TestGreedyAssigner:
         a = GreedyAssigner(n)
         for w in range(1, n + 1):
             assert a.assign(w) == w - 1
+
+
+class TestRecoveryEdgeCases:
+    """The give-work-back paths the fault-tolerant drivers rely on."""
+
+    def test_requeue_returns_fragment_in_sorted_position(self):
+        a = GreedyAssigner(4)
+        for w in (1, 2, 3):
+            a.assign(w)  # 0, 1, 2 in flight; 3 queued
+        assert a.requeue(1) is True
+        assert a.unassigned == [1, 3]
+
+    def test_requeue_refuses_completed_fragment(self):
+        """Duplicate-claim race: result accepted, then death declared."""
+        a = GreedyAssigner(2)
+        a.assign(1)
+        a.mark_completed(0)
+        assert a.requeue(0) is False
+        assert 0 not in a.unassigned
+
+    def test_requeue_refuses_already_queued_fragment(self):
+        """Duplicate death declarations must not double-queue work."""
+        a = GreedyAssigner(3)
+        a.assign(1)
+        assert a.requeue(0) is True
+        assert a.requeue(0) is False
+        assert a.unassigned == [0, 1, 2]
+
+    def test_requeue_out_of_range_rejected(self):
+        a = GreedyAssigner(2)
+        with pytest.raises(ValueError):
+            a.requeue(2)
+
+    def test_mark_completed_withdraws_duplicate_claim(self):
+        """Worker declared dead, fragment requeued — then its result
+        arrives anyway.  Accepting it must withdraw the fragment so no
+        second worker re-searches it."""
+        a = GreedyAssigner(2)
+        a.assign(1)          # frag 0 to worker 1
+        a.requeue(0)         # worker 1 declared dead
+        a.mark_completed(0)  # ...but its result raced in
+        assert a.unassigned == [1]
+        assert a.assign(2) == 1
+        assert a.assign(3) is None
+
+    def test_drop_worker_returns_holdings_and_decrements_copies(self):
+        a = GreedyAssigner(3)
+        a.note_holding(1, 0)
+        a.note_holding(1, 2)
+        a.note_holding(2, 0)
+        assert a.drop_worker(1) == [0, 2]
+        assert a.copies == [1, 0, 0]
+        # least-replicated heuristic no longer counts the dead replica
+        assert a.assign(9) == 1
+
+    def test_drop_worker_unknown_is_noop(self):
+        a = GreedyAssigner(2)
+        assert a.drop_worker(99) == []
+        assert a.copies == [0, 0]
+
+    def test_zero_surviving_workers_leaves_queue_intact(self):
+        """Every worker dies: all in-flight work returns to the pool
+        and stays there — the accounting the degraded path reports."""
+        n = 4
+        a = GreedyAssigner(n)
+        assigned = {w: a.assign(w) for w in range(1, n + 1)}
+        for w, frag in assigned.items():
+            a.note_holding(w, frag)
+            assert a.requeue(frag) is True
+            a.drop_worker(w)
+        assert a.unassigned == list(range(n))
+        assert a.copies == [0] * n
+        assert not a.done
+
+    def test_more_fragments_than_workers_after_reassignment(self):
+        """Two survivors absorb a dead worker's fragment plus the tail
+        of the queue; every fragment still gets searched exactly once."""
+        a = GreedyAssigner(5)
+        first = {w: a.assign(w) for w in (1, 2, 3)}  # 0, 1, 2
+        a.requeue(first[3])  # worker 3 dies mid-search
+        a.drop_worker(3)
+        searched = [first[1], first[2]]
+        workers = (1, 2)
+        i = 0
+        while not a.done:
+            frag = a.assign(workers[i % 2])
+            assert frag is not None
+            searched.append(frag)
+            i += 1
+        assert sorted(searched) == list(range(5))
+
+    def test_requeued_fragment_prefers_surviving_holder(self):
+        """A survivor that already copied the dead worker's fragment
+        gets it back first (zero extra copy cost)."""
+        a = GreedyAssigner(3)
+        a.assign(1)          # frag 0 -> worker 1
+        a.note_holding(1, 0)
+        a.note_holding(2, 0)  # worker 2 also staged a copy earlier
+        a.requeue(0)
+        a.drop_worker(1)     # worker 1 dies
+        assert a.assign(2) == 0

@@ -1,0 +1,492 @@
+"""Chaos suite: deterministic fault injection and FT driver recovery.
+
+Tier-1 tests pin the acceptance behaviour with hand-written plans
+(seeded, replayable); the ``chaos``-marked sweeps run randomized
+:meth:`FaultPlan.random` plans against both fault-tolerant drivers and
+assert the recovery invariant — output byte-identical to the serial
+oracle whenever at least one worker survives.  See FAULTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import ParallelConfig, mpiformatdb
+from repro.parallel.mpiblast import (
+    TAG_FT_REPLY as MPI_FT_REPLY,
+    TAG_FT_REQ as MPI_FT_REQ,
+    run_mpiblast,
+)
+from repro.parallel.pioblast import (
+    TAG_FT_REPLY as PIO_FT_REPLY,
+    TAG_FT_REQ as PIO_FT_REQ,
+    run_pioblast,
+)
+from repro.simmpi import FileStore
+from repro.simmpi.comm import TIMEOUT
+from repro.simmpi.engine import Engine, SimError
+from repro.simmpi.faults import (
+    ANY,
+    CrashFault,
+    DiskSlowdownFault,
+    FaultPlan,
+    MessageDropFault,
+    NetworkSlowdownFault,
+    StragglerFault,
+    TransientIOError,
+    TransientIOFault,
+    retry_io,
+)
+from repro.simmpi.launcher import run
+
+
+# ----------------------------------------------------------------------
+# FaultPlan construction, parsing and validation
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_parse_all_kinds(self):
+        plan = FaultPlan.parse(
+            "seed=42, kill=2@0.5, slowdisk=0.2x1.0@0.1,"
+            "netslow=3x0.5@0.2, straggler=1x0.3@0.0,"
+            "ioerr=nr@0.1n2, drop=1>0:40n2"
+        )
+        assert plan.seed == 42
+        kinds = [type(e).__name__ for e in plan.events]
+        assert kinds == [
+            "CrashFault", "DiskSlowdownFault", "NetworkSlowdownFault",
+            "StragglerFault", "TransientIOFault", "MessageDropFault",
+        ]
+        assert plan.crashes() == [CrashFault(2, 0.5)]
+        drop = plan.events[-1]
+        assert (drop.source, drop.dest, drop.tag, drop.count) == (1, 0, 40, 2)
+
+    def test_parse_wildcards(self):
+        plan = FaultPlan.parse("drop=*>*:*n3")
+        ev = plan.events[0]
+        assert (ev.source, ev.dest, ev.tag) == (ANY, ANY, ANY)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("frobnicate=1")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("kill")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(events=(CrashFault(1, -0.5),))
+        with pytest.raises(ValueError):
+            FaultPlan(events=(DiskSlowdownFault(0.0, 0.0, 0.5),))
+        with pytest.raises(ValueError):
+            FaultPlan(events=(MessageDropFault(count=0),))
+        with pytest.raises(ValueError):
+            FaultPlan(events=(StragglerFault(1, 0.0),))
+
+    def test_random_is_deterministic(self):
+        a = FaultPlan.random(7, 6, droppable_tags=(40, 41))
+        b = FaultPlan.random(7, 6, droppable_tags=(40, 41))
+        assert a == b
+
+    def test_random_never_kills_master_nor_all_workers(self):
+        for seed in range(40):
+            plan = FaultPlan.random(seed, 5, max_crashes=10)
+            crashed = {c.rank for c in plan.crashes()}
+            assert 0 not in crashed
+            assert len(crashed) <= 3  # of 4 workers
+
+    def test_random_needs_three_ranks(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(1, 2)
+
+
+# ----------------------------------------------------------------------
+# Engine primitives: kills, deadlock diagnostics
+# ----------------------------------------------------------------------
+class TestEngineKills:
+    def test_kill_unwinds_parked_rank(self):
+        eng = Engine()
+        log = []
+
+        def victim():
+            p = eng.make_parker(label="recv(src=0, tag=9)")
+            eng.park(p)  # nothing will ever wake this
+            log.append("unreachable")
+
+        eng.spawn(victim, 0)
+        eng.kill_rank_at(0, 1.0)
+        eng.run()
+        assert log == []
+        assert eng.dead_ranks == {0}
+
+    def test_kill_callback_fires(self):
+        eng = Engine()
+        seen = []
+        eng.on_rank_killed = lambda rank, t: seen.append((rank, t))
+
+        def victim():
+            eng.sleep(10.0)
+
+        eng.spawn(victim, 3)
+        eng.kill_rank_at(3, 0.5)
+        eng.run()
+        assert seen == [(3, 0.5)]
+
+    def test_deadlock_message_names_parked_ranks_and_dead(self):
+        """Satellite: a fault-induced hang must say who is stuck on what.
+
+        Rank 1 parks forever on a labelled parker; rank 0 is killed, so
+        the wake rank 1 is waiting for can never come.  The deadlock
+        error must keep its legacy first line and additionally name the
+        parked rank, its parker label, and the injected deaths.
+        """
+        eng = Engine()
+
+        def waiter():
+            p = eng.make_parker(label="recv(src=0, tag=12)")
+            eng.park(p)
+
+        def master():
+            eng.sleep(5.0)
+
+        eng.spawn(master, 0)
+        eng.spawn(waiter, 1)
+        eng.kill_rank_at(0, 0.5)
+        with pytest.raises(SimError) as ei:
+            eng.run()
+        msg = str(ei.value)
+        assert msg.startswith("deadlock: ranks [1] blocked")
+        assert "rank 1 parked on recv(src=0, tag=12)" in msg
+        assert "dead ranks (killed by fault injection): [0]" in msg
+
+
+# ----------------------------------------------------------------------
+# retry_io
+# ----------------------------------------------------------------------
+class TestRetryIO:
+    def _run(self, body):
+        eng = Engine()
+        out = {}
+
+        def wrapper():
+            out["v"] = body(eng)
+
+        eng.spawn(wrapper, 0)
+        eng.run()
+        return out.get("v")
+
+    def test_retries_then_succeeds(self):
+        calls = []
+
+        def body(eng):
+            def fn():
+                calls.append(eng.now)
+                if len(calls) < 3:
+                    raise TransientIOError("read", "nr.xsq")
+                return b"data"
+
+            from repro.simmpi.faults import FaultReport
+
+            report = FaultReport()
+            val = retry_io(eng, fn, attempts=5, report=report, what="t")
+            assert report.count("recover:io-retry") == 2
+            return val
+
+        assert self._run(body) == b"data"
+        assert len(calls) == 3
+
+    def test_budget_exhaustion_reraises(self):
+        def body(eng):
+            def fn():
+                raise TransientIOError("write", "out")
+
+            with pytest.raises(TransientIOError):
+                retry_io(eng, fn, attempts=3)
+            return "done"
+
+        assert self._run(body) == "done"
+
+
+# ----------------------------------------------------------------------
+# Communicator under faults
+# ----------------------------------------------------------------------
+class TestCommFaults:
+    def test_recv_with_timeout_times_out(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                got = ctx.comm.recv_with_timeout(tag=5, timeout=0.5)
+                assert got is TIMEOUT
+                assert ctx.engine.now == pytest.approx(0.5)
+                return "ok"
+            return None
+
+        res = run(2, program)
+        assert res.rank_results[0] == "ok"
+
+    def test_recv_with_timeout_delivers_early(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                got = ctx.comm.recv_with_timeout(tag=5, timeout=10.0)
+                assert got == "hi"
+                assert ctx.engine.now < 1.0
+                return "ok"
+            ctx.comm.send("hi", dest=0, tag=5)
+            return None
+
+        res = run(2, program)
+        assert res.rank_results[0] == "ok"
+
+    def test_send_to_killed_rank_is_safe(self):
+        """isend to a dead rank must not wedge or wake a corpse."""
+        plan = FaultPlan(events=(CrashFault(rank=1, time=0.1),))
+
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.engine.sleep(0.5)  # let the kill land
+                ctx.comm.isend("for the dead", dest=1, tag=3)
+                ctx.engine.sleep(0.1)
+                return "survived"
+            ctx.engine.sleep(60.0)  # killed long before this elapses
+            return "unreachable"
+
+        res = run(2, program, faults=plan)
+        assert res.rank_results[0] == "survived"
+        assert res.dead_ranks == (1,)
+
+    def test_finite_drops_heal(self):
+        """A retrying sender eventually gets a message through."""
+        plan = FaultPlan(
+            events=(MessageDropFault(source=1, dest=0, tag=7, count=2),)
+        )
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for _ in range(5):
+                    got = ctx.comm.recv_with_timeout(tag=7, timeout=0.2)
+                    if got is not TIMEOUT:
+                        return got
+                return None
+            for _ in range(5):
+                ctx.comm.isend("payload", dest=0, tag=7)
+                ctx.engine.sleep(0.2)
+            return None
+
+        res = run(2, program, faults=plan)
+        assert res.rank_results[0] == "payload"
+        assert res.fault_report.count("inject:drop") == 2
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant pioBLAST (the acceptance scenarios)
+# ----------------------------------------------------------------------
+def _pio_ft(store, cfg, nprocs, plan=None):
+    res = run_pioblast(nprocs, store, cfg, faults=plan)
+    return store.read(cfg.output_path), res
+
+
+def _mpi_ft(store, cfg, nprocs, plan=None):
+    mpiformatdb(store, cfg.db_name, cfg.fragments_for(nprocs - 1))
+    res = run_mpiblast(nprocs, store, cfg, faults=plan)
+    return store.read(cfg.output_path), res
+
+
+class TestFTPioblast:
+    def test_fault_free_ft_matches_serial(self, staged, serial_reference):
+        store, cfg = staged
+        cfg = ParallelConfig(cost=cfg.cost, fault_tolerance=True)
+        out, res = _pio_ft(store, cfg, 5)
+        assert out == serial_reference
+        assert res.fault_report is not None and res.fault_report.empty
+        assert res.dead_ranks == ()
+
+    def test_kill_one_of_eight_mid_search(self, staged, serial_reference):
+        """The headline acceptance test: 8 workers, one dies mid-search,
+        the run completes with output byte-identical to the fault-free
+        (== serial) report."""
+        store, cfg = staged
+        plan = FaultPlan(seed=11, events=(CrashFault(rank=3, time=0.02),))
+        out, res = _pio_ft(store, cfg, 9, plan)
+        assert out == serial_reference
+        assert res.dead_ranks == (3,)
+        rep = res.fault_report
+        assert rep.count("inject:crash") == 1
+        assert rep.count("detect:worker-dead") == 1
+        assert rep.count("recover:") >= 1
+        assert not rep.degraded
+
+    def test_same_plan_replays_identically(self, small_db, small_queries):
+        from repro.costmodel import CostModel
+        from repro.parallel import stage_inputs
+
+        plan = FaultPlan(seed=11, events=(CrashFault(rank=3, time=0.02),))
+        runs = []
+        for _ in range(2):
+            store = FileStore()
+            cfg = ParallelConfig(cost=CostModel())
+            cfg = stage_inputs(store, small_db, small_queries, config=cfg,
+                               title="test nr")
+            out, res = _pio_ft(store, cfg, 9, plan)
+            runs.append((out, res.makespan, res.fault_report.as_tuple()))
+        assert runs[0] == runs[1]
+
+    def test_control_plane_drops_are_survived(self, staged, serial_reference):
+        store, cfg = staged
+        plan = FaultPlan(
+            seed=3,
+            events=(
+                MessageDropFault(tag=PIO_FT_REQ, skip=3, count=2),
+                MessageDropFault(tag=PIO_FT_REPLY, skip=1, count=2),
+            ),
+        )
+        out, res = _pio_ft(store, cfg, 5, plan)
+        assert out == serial_reference
+        assert res.fault_report.count("inject:drop") == 4
+        assert res.dead_ranks == ()
+
+    def test_transient_io_errors_are_retried(self, staged, serial_reference):
+        store, cfg = staged
+        plan = FaultPlan(
+            seed=4,
+            events=(TransientIOFault(path_prefix="nr", op="read", count=3),),
+        )
+        out, res = _pio_ft(store, cfg, 5, plan)
+        assert out == serial_reference
+        assert res.fault_report.count("inject:ioerr") == 3
+        assert res.fault_report.count("recover:io-retry") == 3
+
+    def test_slow_disk_window_only_slows(self, staged, serial_reference):
+        store, cfg = staged
+        plan = FaultPlan(
+            seed=5,
+            events=(DiskSlowdownFault(start=0.0, duration=1.0, factor=0.1),),
+        )
+        out, res = _pio_ft(store, cfg, 5, plan)
+        assert out == serial_reference
+        assert res.fault_report.count("inject:slowdisk") >= 1
+
+    def test_straggler_is_tolerated(self, staged, serial_reference):
+        store, cfg = staged
+        plan = FaultPlan(
+            seed=6, events=(StragglerFault(rank=1, factor=0.15),)
+        )
+        out, res = _pio_ft(store, cfg, 5, plan)
+        assert out == serial_reference
+        assert res.dead_ranks == ()
+
+    def test_all_workers_dead_degrades_gracefully(self, staged):
+        """With nobody left the master still terminates, writes what it
+        can (headers/footers over nothing) and reports every fragment
+        missing."""
+        store, cfg = staged
+        plan = FaultPlan(
+            seed=7,
+            events=tuple(CrashFault(rank=r, time=0.02) for r in (1, 2, 3, 4)),
+        )
+        out, res = _pio_ft(store, cfg, 5, plan)
+        rep = res.fault_report
+        assert rep.degraded
+        assert rep.missing_fragments == [0, 1, 2, 3]
+        assert res.dead_ranks == (1, 2, 3, 4)
+        assert store.exists(cfg.output_path)
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant mpiBLAST (serialized output restart)
+# ----------------------------------------------------------------------
+class TestFTMpiblast:
+    def test_fault_free_ft_matches_serial(self, staged, serial_reference):
+        store, cfg = staged
+        cfg = ParallelConfig(cost=cfg.cost, fault_tolerance=True)
+        out, res = _mpi_ft(store, cfg, 5)
+        assert out == serial_reference
+        assert res.fault_report is not None and res.fault_report.empty
+
+    def test_owner_death_restarts_output(self, staged, serial_reference):
+        """A worker that dies after reporting results invalidates its
+        cached alignments: the master must detect the dead owner at
+        fetch time, have the fragment re-searched, and restart the
+        serialized output pass — still byte-identical."""
+        store, cfg = staged
+        plan = FaultPlan(seed=7, events=(CrashFault(rank=2, time=0.05),))
+        out, res = _mpi_ft(store, cfg, 5, plan)
+        assert out == serial_reference
+        assert res.dead_ranks == (2,)
+        rep = res.fault_report
+        assert rep.count("detect:worker-dead") == 1
+        assert rep.count("recover:restart-output") == 1
+        assert rep.count("recover:research") >= 1
+        assert not rep.degraded
+
+    def test_same_plan_replays_identically(self, small_db, small_queries):
+        from repro.costmodel import CostModel
+        from repro.parallel import stage_inputs
+
+        plan = FaultPlan(seed=7, events=(CrashFault(rank=2, time=0.05),))
+        runs = []
+        for _ in range(2):
+            store = FileStore()
+            cfg = ParallelConfig(cost=CostModel())
+            cfg = stage_inputs(store, small_db, small_queries, config=cfg,
+                               title="test nr")
+            out, res = _mpi_ft(store, cfg, 5, plan)
+            runs.append((out, res.makespan, res.fault_report.as_tuple()))
+        assert runs[0] == runs[1]
+
+    def test_all_workers_dead_degrades_gracefully(self, staged):
+        store, cfg = staged
+        plan = FaultPlan(
+            seed=8,
+            events=tuple(CrashFault(rank=r, time=0.02) for r in (1, 2, 3, 4)),
+        )
+        out, res = _mpi_ft(store, cfg, 5, plan)
+        rep = res.fault_report
+        assert rep.degraded
+        assert rep.missing_fragments == [0, 1, 2, 3]
+        assert store.exists(cfg.output_path)
+
+
+# ----------------------------------------------------------------------
+# Randomized chaos sweeps (tier 2: `pytest -m chaos` / `make chaos`)
+# ----------------------------------------------------------------------
+CHAOS_SEEDS = [101, 202, 303]
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+class TestChaosSweep:
+    def test_pioblast_random_plan(self, staged, serial_reference, seed):
+        store, cfg = staged
+        plan = FaultPlan.random(
+            seed, 6, droppable_tags=(PIO_FT_REQ, PIO_FT_REPLY)
+        )
+        out, res = _pio_ft(store, cfg, 6, plan)
+        # random() always leaves at least one worker alive, so the run
+        # must fully recover.
+        assert not res.fault_report.degraded
+        assert out == serial_reference
+
+    def test_mpiblast_random_plan(self, staged, serial_reference, seed):
+        store, cfg = staged
+        plan = FaultPlan.random(
+            seed, 6, droppable_tags=(MPI_FT_REQ, MPI_FT_REPLY)
+        )
+        out, res = _mpi_ft(store, cfg, 6, plan)
+        assert not res.fault_report.degraded
+        assert out == serial_reference
+
+    def test_replay_reports_are_bitwise_identical(
+        self, small_db, small_queries, seed
+    ):
+        from repro.costmodel import CostModel
+        from repro.parallel import stage_inputs
+
+        plan = FaultPlan.random(
+            seed, 6, droppable_tags=(PIO_FT_REQ, PIO_FT_REPLY)
+        )
+        keys = []
+        for _ in range(2):
+            store = FileStore()
+            cfg = ParallelConfig(cost=CostModel())
+            cfg = stage_inputs(store, small_db, small_queries, config=cfg,
+                               title="test nr")
+            _out, res = _pio_ft(store, cfg, 6, plan)
+            keys.append((res.makespan, res.fault_report.as_tuple()))
+        assert keys[0] == keys[1]

@@ -1,0 +1,118 @@
+"""Recovery properties: killed-worker subsets vs the serial oracle.
+
+The fault-tolerant drivers promise that as long as at least one worker
+survives, the merged report is byte-identical to the fault-free (and
+therefore serial) result — dead workers' fragments are reassigned, not
+dropped.  These tests enumerate kill subsets and check that promise.
+
+Representative subsets run in tier 1; the full enumeration of all
+subsets of size <= n-2 is chaos-marked (``pytest -m chaos``).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.parallel import ParallelConfig, mpiformatdb, stage_inputs
+from repro.parallel.mpiblast import run_mpiblast
+from repro.parallel.pioblast import run_pioblast
+from repro.simmpi import CrashFault, FaultPlan, FileStore
+
+NPROCS = 5  # master + 4 workers
+WORKER_RANKS = tuple(range(1, NPROCS))
+
+#: Kill times chosen to hit different protocol states: mid-copy,
+#: mid-search, and (at this workload's virtual timescale) after the
+#: worker has already reported results.
+KILL_TIMES = (0.005, 0.02, 0.08)
+
+
+def _fresh(small_db, small_queries):
+    store = FileStore()
+    cfg = ParallelConfig()
+    return stage_inputs(store, small_db, small_queries,
+                        config=cfg, title="test nr"), store
+
+
+def _run(driver, small_db, small_queries, plan):
+    cfg, store = _fresh(small_db, small_queries)
+    if driver is run_mpiblast:
+        mpiformatdb(store, cfg.db_name, cfg.fragments_for(NPROCS - 1))
+    res = driver(NPROCS, store, cfg, faults=plan)
+    return store.read(cfg.output_path), res
+
+
+def _plan_for(ranks: tuple[int, ...], seed: int = 5) -> FaultPlan:
+    events = tuple(
+        CrashFault(rank=r, time=KILL_TIMES[i % len(KILL_TIMES)])
+        for i, r in enumerate(ranks)
+    )
+    return FaultPlan(seed=seed, events=events)
+
+
+#: Tier-1 representatives: one single kill and one double kill per
+#: driver.  n-2 = 2 of the 4 workers is the largest subset for which
+#: the survivors can still cover every fragment quickly.
+TIER1_SUBSETS = [(2,), (1, 3)]
+
+
+@pytest.mark.parametrize("driver", [run_pioblast, run_mpiblast],
+                         ids=["pioblast", "mpiblast"])
+@pytest.mark.parametrize("ranks", TIER1_SUBSETS,
+                         ids=lambda r: "kill" + "-".join(map(str, r)))
+def test_killed_subset_matches_serial_oracle(
+    driver, ranks, small_db, small_queries, serial_reference
+):
+    out, res = _run(driver, small_db, small_queries, _plan_for(ranks))
+    assert out == serial_reference
+    assert res.dead_ranks == tuple(sorted(ranks))
+    rep = res.fault_report
+    assert rep is not None and not rep.degraded
+    assert rep.missing_fragments == []
+    assert rep.count("inject:crash") == len(ranks)
+
+
+@pytest.mark.parametrize("driver", [run_pioblast, run_mpiblast],
+                         ids=["pioblast", "mpiblast"])
+def test_single_survivor_still_degrades_gracefully_or_completes(
+    driver, small_db, small_queries, serial_reference
+):
+    """Killing n-2 workers leaves one survivor: full report, no gaps."""
+    ranks = WORKER_RANKS[:-1]  # 3 of 4 workers
+    out, res = _run(driver, small_db, small_queries, _plan_for(ranks))
+    assert out == serial_reference
+    assert res.dead_ranks == tuple(sorted(ranks))
+    assert not res.fault_report.degraded
+
+
+@pytest.mark.parametrize("driver", [run_pioblast, run_mpiblast],
+                         ids=["pioblast", "mpiblast"])
+def test_all_workers_dead_is_explicitly_degraded(
+    driver, small_db, small_queries, serial_reference
+):
+    """Past n-2: zero survivors must degrade *loudly*, never hang."""
+    out, res = _run(driver, small_db, small_queries,
+                    _plan_for(WORKER_RANKS))
+    assert out != serial_reference
+    rep = res.fault_report
+    assert rep.degraded
+    assert rep.missing_fragments == list(range(NPROCS - 1))
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("driver", [run_pioblast, run_mpiblast],
+                         ids=["pioblast", "mpiblast"])
+def test_every_subset_up_to_n_minus_2(
+    driver, small_db, small_queries, serial_reference
+):
+    """Exhaustive: every kill subset of size <= n-2 recovers fully."""
+    for size in (1, 2):
+        for ranks in combinations(WORKER_RANKS, size):
+            out, res = _run(driver, small_db, small_queries,
+                            _plan_for(ranks))
+            assert out == serial_reference, (
+                f"{driver.__name__} diverged after killing {ranks}"
+            )
+            assert not res.fault_report.degraded
