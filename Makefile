@@ -1,16 +1,18 @@
 # Test tiers (see FAULTS.md §5).
 #
-#   make test    - tier 1: the fast default suite (chaos tests excluded
-#                  via the `-m 'not chaos'` addopts in pyproject.toml)
-#   make chaos   - tier 2: randomized fault-injection sweeps over fixed
-#                  seeds (slower; exercises FaultPlan.random + the
-#                  exhaustive kill-subset enumeration)
-#   make report  - assemble archived benchmark tables
+#   make test       - tier 1: the fast default suite (chaos tests excluded
+#                     via the `-m 'not chaos'` addopts in pyproject.toml)
+#   make chaos      - tier 2: randomized fault-injection sweeps over fixed
+#                     seeds (slower; exercises FaultPlan.random + the
+#                     exhaustive kill-subset enumeration)
+#   make report     - assemble archived benchmark tables
+#   make bench-json - run the table1/fig3a sweep with tracing on and
+#                     write BENCH_pr4.json (slow; see OBSERVABILITY.md §6)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos report
+.PHONY: test chaos report bench-json
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,3 +22,6 @@ chaos:
 
 report:
 	$(PYTHON) -m repro report
+
+bench-json:
+	$(PYTHON) -m repro.obs.bench --out BENCH_pr4.json

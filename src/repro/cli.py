@@ -118,6 +118,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         except ValueError as e:
             print(f"bad --faults spec: {e}", file=sys.stderr)
             return 2
+    # Fail fast on unwritable output paths: the simulation itself can
+    # take minutes, so a typo'd directory must not cost a full run.
+    for opt, path in (("--trace", args.trace),
+                      ("--metrics-json", args.metrics_json)):
+        if path is None:
+            continue
+        parent = pathlib.Path(path).resolve().parent
+        if not parent.is_dir():
+            print(f"bad {opt} path: directory does not exist: {parent}",
+                  file=sys.stderr)
+            return 2
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     wl = ExperimentWorkload(
         db_spec=SynthSpec(
             num_sequences=args.db_sequences, mean_length=args.mean_length,
@@ -126,7 +142,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     platform = PLATFORMS[args.platform]
     b, result, store, cfg = run_program_raw(
-        args.program, args.nprocs, wl, platform, faults=faults
+        args.program, args.nprocs, wl, platform, faults=faults,
+        tracer=tracer,
     )
     print(
         f"{args.program} on {platform.name}, {args.nprocs} processes "
@@ -145,6 +162,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if faults is not None:
         print(fault_summary(result) or
               "faults: none injected, none detected")
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+        from repro.parallel import bottleneck_table
+
+        write_chrome_trace(args.trace, result.events, result.nprocs)
+        print(f"  trace: {len(result.events)} events -> {args.trace} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+        print(bottleneck_table(result))
+    if args.metrics_json is not None:
+        from repro.obs import write_run_metrics
+
+        write_run_metrics(args.metrics_json, result, program=args.program)
+        print(f"  metrics: -> {args.metrics_json}")
     return 0
 
 
@@ -233,6 +263,17 @@ def build_parser() -> argparse.ArgumentParser:
         "'seed=7,kill=2@0.05,slowdisk=4x1.0@0.2,ioerr=nr@0.1n2' "
         "(see FAULTS.md for the full mini-language); switches "
         "mpiblast/pioblast to their fault-tolerant drivers",
+    )
+    m.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome/Perfetto trace of the run to FILE and "
+        "print the event-derived bottleneck table "
+        "(see OBSERVABILITY.md)",
+    )
+    m.add_argument(
+        "--metrics-json", default=None, metavar="FILE",
+        help="write machine-readable run metrics (makespan, phase "
+        "maxima, counters, critical-path attribution) to FILE",
     )
     m.set_defaults(func=_cmd_simulate)
 

@@ -136,9 +136,11 @@ def run_program_raw(
     nfragments: int | None = None,
     config_overrides: dict | None = None,
     faults: FaultPlan | None = None,
+    tracer=None,
 ):
     """Like :func:`run_program` but also returns the raw ``RunResult``
-    (phase timings per rank, fault report, dead ranks)."""
+    (phase timings per rank, fault report, dead ranks).  ``tracer`` (a
+    :class:`repro.obs.Tracer`) enables structured event tracing."""
     nworkers = nprocs - 1
     frag = nfragments if nfragments is not None else None
     needs_physical = program == "mpiblast"
@@ -155,16 +157,20 @@ def run_program_raw(
         # healthy-but-slow workers are not declared dead.
         cfg = replace(cfg, ft=FTParams.for_cost(cfg.cost))
     if program == "mpiblast":
-        result = run_mpiblast(nprocs, store, cfg, platform, faults=faults)
+        result = run_mpiblast(
+            nprocs, store, cfg, platform, faults=faults, tracer=tracer
+        )
     elif program == "pioblast":
-        result = run_pioblast(nprocs, store, cfg, platform, faults=faults)
+        result = run_pioblast(
+            nprocs, store, cfg, platform, faults=faults, tracer=tracer
+        )
     elif program == "queryseg":
         if faults is not None:
             raise ValueError(
                 "queryseg has no fault-tolerant driver; "
                 "use mpiblast or pioblast"
             )
-        result = run_queryseg(nprocs, store, cfg, platform)
+        result = run_queryseg(nprocs, store, cfg, platform, tracer=tracer)
     else:
         raise ValueError(f"unknown program {program!r}")
     return breakdown_from_run(program, result), result, store, cfg

@@ -26,6 +26,8 @@ SECTION_ORDER = [
     ("ablation_granularity", "Extension §5 — adaptive granularity"),
     ("ablation_queryseg", "Baseline §2.1 — query segmentation"),
     ("chaos", "Chaos — fault-injection recovery (FAULTS.md)"),
+    ("bottleneck", "Bottleneck — event-derived makespan attribution "
+                   "(OBSERVABILITY.md)"),
 ]
 
 

@@ -1,0 +1,102 @@
+"""Emit the machine-readable benchmark file (``BENCH_pr4.json``).
+
+Runs the paper-regime experiments — the Table-1 32-process comparison
+and the Figure-3(a) scalability sweep — with metrics and tracing on, and
+stores each run's :func:`repro.obs.export.run_metrics` dict (makespan,
+per-phase maxima, counter totals, makespan attribution, critical-path
+decomposition) under ``runs["<program>/np<N>"]``.
+
+The file is the comparison baseline for :mod:`repro.obs.compare`::
+
+    python -m repro.obs.bench --out BENCH_pr4.json          # full (slow)
+    python -m repro.obs.bench --quick --out /tmp/now.json   # CI-sized
+    python -m repro.obs.compare BENCH_pr4.json /tmp/now.json
+
+``--quick`` shrinks the workload and the process counts so the sweep
+finishes in seconds; quick files are only comparable to quick files
+(the document records which flavour it is).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+from repro.experiments.common import ExperimentWorkload, run_program_raw
+from repro.experiments.fig3a import PROCESS_COUNTS
+from repro.obs.export import run_metrics
+from repro.obs.tracer import Tracer
+from repro.platforms import ORNL_ALTIX
+
+#: Figure-3(a) sweep plus the Table-1 point (32 is in both).
+FULL_COUNTS = PROCESS_COUNTS
+QUICK_COUNTS = (4, 8)
+QUICK_QUERY_BYTES = 4_000
+
+
+def bench_document(
+    *, quick: bool = False, trace: bool = True, verbose: bool = False
+) -> dict:
+    """Run the sweep and build the bench document."""
+    wl = ExperimentWorkload()
+    counts = FULL_COUNTS
+    if quick:
+        wl = wl.with_query_bytes(QUICK_QUERY_BYTES)
+        counts = QUICK_COUNTS
+    runs: dict[str, dict] = {}
+    for program in ("mpiblast", "pioblast"):
+        for nprocs in counts:
+            tracer = Tracer() if trace else None
+            _b, result, _store, _cfg = run_program_raw(
+                program, nprocs, wl, ORNL_ALTIX, tracer=tracer
+            )
+            name = f"{program}/np{nprocs}"
+            runs[name] = run_metrics(result, program=program)
+            if verbose:
+                print(
+                    f"{name}: makespan {result.makespan:.1f}s, "
+                    f"{len(result.events or [])} events"
+                )
+    return {
+        "meta": {
+            "source": "repro.obs.bench",
+            "quick": quick,
+            "process_counts": list(counts),
+            "query_bytes": wl.query_bytes,
+        },
+        "runs": runs,
+    }
+
+
+def write_bench(
+    path: str | pathlib.Path,
+    *, quick: bool = False, trace: bool = True, verbose: bool = False,
+) -> dict:
+    doc = bench_document(quick=quick, trace=trace, verbose=verbose)
+    pathlib.Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+    return doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Run the table1/fig3a sweep, write bench JSON.",
+    )
+    ap.add_argument("--out", default="BENCH_pr4.json")
+    ap.add_argument("--quick", action="store_true",
+                    help="small workload + few process counts (CI)")
+    ap.add_argument("--no-trace", action="store_true",
+                    help="skip tracing (no attribution/critical path)")
+    ns = ap.parse_args(argv)
+    doc = write_bench(
+        ns.out, quick=ns.quick, trace=not ns.no_trace, verbose=True
+    )
+    print(f"wrote {ns.out} ({len(doc['runs'])} runs)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

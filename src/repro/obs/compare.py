@@ -1,0 +1,124 @@
+"""Diff two bench JSON files and flag regressions.
+
+``BENCH_*.json`` files (written by :mod:`repro.obs.bench`) map run names
+to :func:`repro.obs.export.run_metrics` dicts.  :func:`compare_bench`
+walks every shared numeric key and reports each one whose value moved by
+more than ``threshold`` (relative); time-like quantities that *grew* are
+regressions, ones that shrank are improvements.
+
+CLI::
+
+    python -m repro.obs.compare OLD.json NEW.json [--threshold 0.05]
+
+exits 1 if any regression exceeds the threshold (CI-friendly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from dataclasses import dataclass
+
+#: Scalar keys compared per run, all "lower is better".
+COMPARED_KEYS = ("makespan",)
+#: Nested dicts compared key-by-key, all "lower is better".
+COMPARED_SECTIONS = ("phases", "critical_path", "attribution_rank_max")
+
+
+@dataclass(frozen=True)
+class Delta:
+    run: str
+    key: str
+    old: float
+    new: float
+
+    @property
+    def ratio(self) -> float:
+        if self.old == 0:
+            return float("inf") if self.new > 0 else 0.0
+        return self.new / self.old - 1.0
+
+    @property
+    def regression(self) -> bool:
+        return self.new > self.old
+
+    def render(self) -> str:
+        arrow = "WORSE" if self.regression else "better"
+        return (
+            f"{self.run}: {self.key} {self.old:.4f} -> {self.new:.4f} "
+            f"({self.ratio:+.1%}, {arrow})"
+        )
+
+
+def load_bench(path: str | pathlib.Path) -> dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def _runs(doc: dict) -> dict:
+    return doc.get("runs", doc)
+
+
+def compare_bench(
+    old: dict, new: dict, *, threshold: float = 0.05
+) -> list[Delta]:
+    """All deltas beyond ``threshold`` between two bench documents."""
+    deltas: list[Delta] = []
+
+    def check(run: str, key: str, a, b) -> None:
+        if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+            return
+        base = max(abs(a), 1e-12)
+        if abs(b - a) / base > threshold:
+            deltas.append(Delta(run, key, float(a), float(b)))
+
+    old_runs, new_runs = _runs(old), _runs(new)
+    for run in sorted(set(old_runs) & set(new_runs)):
+        o, n = old_runs[run], new_runs[run]
+        for key in COMPARED_KEYS:
+            if key in o and key in n:
+                check(run, key, o[key], n[key])
+        for sec in COMPARED_SECTIONS:
+            osec, nsec = o.get(sec, {}), n.get(sec, {})
+            for key in sorted(set(osec) & set(nsec)):
+                check(run, f"{sec}.{key}", osec[key], nsec[key])
+    return deltas
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.compare",
+        description="Diff two bench JSON files; exit 1 on regression.",
+    )
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=0.05,
+                    help="relative change to flag (default 0.05)")
+    ns = ap.parse_args(argv)
+    old, new = load_bench(ns.old), load_bench(ns.new)
+    flavours = tuple(
+        doc.get("meta", {}).get("quick") for doc in (old, new)
+    )
+    if None not in flavours and flavours[0] != flavours[1]:
+        print(
+            "cannot compare a --quick bench file with a full one "
+            f"({ns.old}: quick={flavours[0]}, {ns.new}: quick={flavours[1]})"
+        )
+        return 2
+    deltas = compare_bench(old, new, threshold=ns.threshold)
+    if not deltas:
+        print(f"no changes beyond {ns.threshold:.0%}")
+        return 0
+    regressions = 0
+    for d in deltas:
+        print(d.render())
+        regressions += d.regression
+    print(
+        f"{len(deltas)} change(s) beyond {ns.threshold:.0%}, "
+        f"{regressions} regression(s)"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

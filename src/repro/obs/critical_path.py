@@ -1,0 +1,386 @@
+"""Makespan attribution and critical-path analysis over traced events.
+
+The engine only advances virtual time while rank threads are parked, so
+the ``wait`` spans of a rank tile its entire virtual lifetime (between
+two park returns the rank runs real Python at a frozen virtual clock).
+That totality is what makes events a *complete* account of a run: every
+virtual second of every rank lies inside exactly one ``wait`` span (or
+after the rank finished), and classifying the spans classifies the
+makespan.
+
+Three analyses are built on it:
+
+:func:`attribute_makespan`
+    Per-rank decomposition of the makespan into ``compute`` (modelled
+    work), ``io`` (filesystem pipes and collective I/O windows),
+    ``comm`` (sends, collectives), ``wait`` (blocked on a peer) and
+    ``idle`` (finished before the makespan).
+
+:func:`critical_path`
+    The dependency chain that actually determines the makespan: walk
+    backwards from the finish, following each blocking span to its
+    cause; a receive wait is caused by the *sender*, so the walk jumps
+    rank timelines along message edges (the ``mid``/``sent_at`` args on
+    ``comm.recv`` events).  The result attributes the makespan — not
+    any rank's busy time — to compute/io/comm.
+
+:func:`breakdown_from_events`
+    Reconstructs the paper's Table-1 phase accounting purely from
+    ``phase`` spans, replicating :class:`repro.simmpi.trace.\
+PhaseRecorder`'s innermost-phase-only attribution with a containment
+    stack — the cross-check that the tracer sees everything the
+    recorder sees (asserted to < 1 % in the tier-1 suite).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.obs.events import (
+    EV_COLL,
+    EV_IO,
+    EV_IO_COLL,
+    EV_PHASE,
+    EV_RECV,
+    EV_WAIT,
+    Event,
+)
+
+_EPS = 1e-9
+
+#: Attribution classes, display order.
+CLASSES = ("compute", "io", "comm", "wait", "idle")
+
+
+def classify_wait(name: str) -> str:
+    """Base class of one ``wait`` span from its parker label."""
+    if ":transfer" in name:
+        return "io"
+    if name.startswith(("recv", "probe", "irecv")):
+        return "wait"
+    if name.startswith("send"):
+        return "comm"
+    if name.startswith("sleep"):
+        return "compute"
+    return "wait"
+
+
+class _Windows:
+    """Sorted, non-overlapping-start interval containment queries."""
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self, spans: list[Event]) -> None:
+        ivals = sorted((e.t0, e.t1) for e in spans)
+        self.starts = [t0 for t0, _ in ivals]
+        self.ends = [t1 for _, t1 in ivals]
+
+    def contains(self, t0: float, t1: float) -> bool:
+        """Is ``[t0, t1]`` inside any recorded window?"""
+        i = bisect.bisect_right(self.starts, t0 + _EPS) - 1
+        while i >= 0:
+            if self.ends[i] >= t1 - _EPS:
+                return True
+            # Nested windows may start earlier and end earlier; scan
+            # back while an enclosing candidate could still exist.
+            if self.starts[i] <= t0 - 1.0:
+                break
+            i -= 1
+        return False
+
+
+@dataclass
+class RankEvents:
+    """One rank's events, indexed for the analyses."""
+
+    rank: int
+    waits: list[Event] = field(default_factory=list)
+    wait_starts: list[float] = field(default_factory=list)
+    #: id(wait event) -> matching ``comm.recv`` instant (blocked recvs)
+    recv_after: dict[int, Event] = field(default_factory=dict)
+    io_windows: _Windows | None = None
+    coll_windows: _Windows | None = None
+
+    def classify(self, ev: Event) -> str:
+        """Class of one wait span, window context included."""
+        base = classify_wait(ev.name)
+        if self.io_windows is not None and self.io_windows.contains(
+            ev.t0, ev.t1
+        ):
+            return "io"
+        # Inside a collective, the modelled per-message overhead sleeps
+        # are communication time.  Blocked receives stay ``wait`` — time
+        # parked in a barrier is load imbalance, not transfer cost.
+        if base == "compute" and self.coll_windows is not None and (
+            self.coll_windows.contains(ev.t0, ev.t1)
+        ):
+            return "comm"
+        return base
+
+    def span_at(self, t: float) -> Event | None:
+        """The wait span with ``t0 < t <= t1``, or the last one ending
+        at/before ``t`` (walk entry from frozen-clock program epilogue)."""
+        i = bisect.bisect_left(self.wait_starts, t - _EPS) - 1
+        if i < 0:
+            return None
+        ev = self.waits[i]
+        if ev.t1 >= t - _EPS:
+            return ev
+        return ev  # gap: rank was running at frozen virtual time
+
+
+def index_events(events: list[Event], nranks: int) -> list[RankEvents]:
+    """Group and index events per rank (scheduler events are skipped)."""
+    per = [RankEvents(r) for r in range(nranks)]
+    io_spans: list[list[Event]] = [[] for _ in range(nranks)]
+    coll_spans: list[list[Event]] = [[] for _ in range(nranks)]
+    last_wait: list[Event | None] = [None] * nranks
+    for ev in events:
+        r = ev.rank
+        if r < 0 or r >= nranks:
+            continue
+        if ev.kind == EV_WAIT:
+            per[r].waits.append(ev)
+            last_wait[r] = ev
+        elif ev.kind in (EV_IO, EV_IO_COLL):
+            io_spans[r].append(ev)
+        elif ev.kind == EV_COLL:
+            coll_spans[r].append(ev)
+        elif ev.kind == EV_RECV:
+            # A blocked receive emits its recv instant immediately after
+            # the wait span it parked on, at the same virtual time; a
+            # queued hit has no preceding wait (and costs no time).
+            lw = last_wait[r]
+            if (
+                lw is not None
+                and abs(lw.t1 - ev.t0) <= _EPS
+                and id(lw) not in per[r].recv_after
+                and classify_wait(lw.name) == "wait"
+            ):
+                per[r].recv_after[id(lw)] = ev
+    for r in range(nranks):
+        per[r].waits.sort(key=lambda e: e.t0)
+        per[r].wait_starts = [e.t0 for e in per[r].waits]
+        per[r].io_windows = _Windows(io_spans[r])
+        per[r].coll_windows = _Windows(coll_spans[r])
+    return per
+
+
+# ----------------------------------------------------------------------
+# makespan attribution
+# ----------------------------------------------------------------------
+def attribute_makespan(
+    events: list[Event], nranks: int, makespan: float
+) -> list[dict[str, float]]:
+    """Per-rank decomposition of ``makespan`` into :data:`CLASSES`.
+
+    Every rank's classes sum to the makespan exactly: wait spans tile
+    the rank's parked lifetime and the remainder (program epilogue,
+    early death, pure-Python time at a frozen clock) is ``idle``.
+    """
+    out = []
+    for re_ in index_events(events, nranks):
+        acc = {c: 0.0 for c in CLASSES}
+        covered = 0.0
+        for ev in re_.waits:
+            d = ev.duration
+            acc[re_.classify(ev)] += d
+            covered += d
+        acc["idle"] = max(makespan - covered, 0.0)
+        out.append(acc)
+    return out
+
+
+# ----------------------------------------------------------------------
+# critical path
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PathSegment:
+    rank: int
+    t0: float
+    t1: float
+    cls: str
+    name: str
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The backward walk's result: segments sum to ≈ the makespan."""
+
+    makespan: float
+    segments: tuple[PathSegment, ...]
+
+    def by_class(self) -> dict[str, float]:
+        acc = {c: 0.0 for c in CLASSES}
+        for s in self.segments:
+            acc[s.cls] = acc.get(s.cls, 0.0) + s.duration
+        acc["idle"] = max(self.makespan - sum(
+            s.duration for s in self.segments
+        ), 0.0)
+        return acc
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the makespan the walk explained (≈ 1.0)."""
+        if self.makespan <= 0:
+            return 1.0
+        return sum(s.duration for s in self.segments) / self.makespan
+
+
+def critical_path(
+    events: list[Event], nranks: int, makespan: float
+) -> CriticalPath:
+    """Walk backwards from the finish along blocking dependencies.
+
+    Local spans (compute sleeps, pipe transfers, rendezvous sends)
+    continue on the same rank at their start; a blocked receive jumps to
+    the *sending* rank at the message's injection time (its ``comm.recv``
+    instant carries ``sent_at``), charging the in-flight interval to
+    ``comm``.  The walk is linear in the number of segments and ends at
+    virtual time zero.
+    """
+    per = index_events(events, nranks)
+    # Start on the rank whose parked lifetime ends last.
+    rank, best_end = 0, -1.0
+    for re_ in per:
+        if re_.waits and re_.waits[-1].t1 > best_end:
+            best_end = re_.waits[-1].t1
+            rank = re_.rank
+    segments: list[PathSegment] = []
+    t = min(makespan, best_end) if best_end > 0 else 0.0
+    guard = len(events) + nranks + 8
+    while t > _EPS and guard > 0:
+        guard -= 1
+        ev = per[rank].span_at(t)
+        if ev is None:
+            break
+        hi = min(t, ev.t1)
+        cls = per[rank].classify(ev)
+        recv = per[rank].recv_after.get(id(ev))
+        if recv is not None and cls == "wait":
+            # Message edge: arrival at hi was caused by the sender's
+            # injection at sent_at; transit is comm on the path.
+            sent_at = float(recv.args[4])
+            source = int(recv.args[0])
+            lo = max(sent_at, 0.0)
+            if hi > lo:
+                segments.append(
+                    PathSegment(rank, lo, hi, "comm", f"msg<-{source}")
+                )
+            rank = source
+            t = lo
+            continue
+        lo = ev.t0
+        if hi > lo:
+            segments.append(PathSegment(rank, lo, hi, cls, ev.name))
+        t = lo
+    segments.reverse()
+    return CriticalPath(makespan=makespan, segments=tuple(segments))
+
+
+# ----------------------------------------------------------------------
+# phase accounting from events (Table-1 cross-check)
+# ----------------------------------------------------------------------
+def phase_seconds_from_events(
+    events: list[Event], nranks: int
+) -> list[dict[str, float]]:
+    """Per-rank innermost-phase-only seconds, from ``phase`` spans alone.
+
+    ``phase`` spans are emitted at *exit* in each rank's execution
+    order, so a span's direct children are exactly the not-yet-claimed
+    earlier spans it contains.  Charging each span its duration minus
+    its direct children's durations replicates
+    :class:`repro.simmpi.trace.PhaseRecorder` to the last float.
+    """
+    acc: list[dict[str, float]] = [dict() for _ in range(nranks)]
+    unclaimed: list[list[tuple[float, float]]] = [[] for _ in range(nranks)]
+    for ev in events:
+        if ev.kind != EV_PHASE or ev.rank < 0 or ev.rank >= nranks:
+            continue
+        pend = unclaimed[ev.rank]
+        children = 0.0
+        keep = []
+        for t0, t1 in pend:
+            if t0 >= ev.t0 - _EPS and t1 <= ev.t1 + _EPS:
+                children += t1 - t0
+            else:
+                keep.append((t0, t1))
+        keep.append((ev.t0, ev.t1))
+        unclaimed[ev.rank] = keep
+        a = acc[ev.rank]
+        a[ev.name] = a.get(ev.name, 0.0) + ev.duration - children
+    return acc
+
+
+def breakdown_from_events(
+    program: str, events: list[Event], nranks: int, makespan: float
+):
+    """A Table-1 :class:`repro.parallel.phases.PhaseBreakdown` computed
+    from the event stream instead of the recorder (cross-validation)."""
+    from repro.parallel.phases import (
+        COPY,
+        INPUT,
+        OUTPUT,
+        SEARCH,
+        PhaseBreakdown,
+    )
+
+    acc = phase_seconds_from_events(events, nranks)
+
+    def phase_max(name: str) -> float:
+        return max((a.get(name, 0.0) for a in acc), default=0.0)
+
+    copy_input = phase_max(COPY) + phase_max(INPUT)
+    search = phase_max(SEARCH)
+    output = phase_max(OUTPUT)
+    other = max(makespan - copy_input - search - output, 0.0)
+    return PhaseBreakdown(
+        program=program,
+        nprocs=nranks,
+        copy_input=copy_input,
+        search=search,
+        output=output,
+        other=other,
+        total=makespan,
+    )
+
+
+# ----------------------------------------------------------------------
+# the bottleneck table
+# ----------------------------------------------------------------------
+def render_bottleneck_table(
+    events: list[Event],
+    nranks: int,
+    makespan: float,
+    *,
+    title: str = "Bottleneck attribution",
+) -> str:
+    """Human-readable makespan attribution: per-class rank aggregates
+    plus the critical path's own decomposition."""
+    attr = attribute_makespan(events, nranks, makespan)
+    path = critical_path(events, nranks, makespan).by_class()
+    header = (
+        f"{'class':>8}  {'rank-max':>10}  {'rank-mean':>10}  "
+        f"{'crit-path':>10}  {'crit %':>7}"
+    )
+    lines = [title, "-" * len(title), header]
+    for cls in CLASSES:
+        vals = [a[cls] for a in attr]
+        rmax = max(vals, default=0.0)
+        rmean = sum(vals) / len(vals) if vals else 0.0
+        crit = path.get(cls, 0.0)
+        share = 100.0 * crit / makespan if makespan > 0 else 0.0
+        lines.append(
+            f"{cls:>8}  {rmax:>10.3f}  {rmean:>10.3f}  "
+            f"{crit:>10.3f}  {share:>6.1f}%"
+        )
+    lines.append(
+        f"  makespan {makespan:.3f}s over {nranks} ranks; columns: worst "
+        "rank, mean rank, and the critical path's share of each class"
+    )
+    return "\n".join(lines)

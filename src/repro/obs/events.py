@@ -1,0 +1,131 @@
+"""Typed, virtual-clock-stamped trace events.
+
+Every observable occurrence in a simulated run — a rank parking on a
+simulated operation, a timed filesystem op, a message injection or
+pickup, a collective, a phase, a fault — is recorded as one
+:class:`Event`.  Events are deliberately tiny (one ``__slots__`` class,
+no per-kind subclasses) so that tracing a full 62-process experiment
+stays cheap, and deliberately *total*: because the engine only advances
+virtual time while ranks are parked, the ``wait`` spans of a rank tile
+its entire virtual lifetime, which is what lets the analysis layer
+(:mod:`repro.obs.critical_path`) attribute every makespan second from
+events alone.
+
+Kinds
+-----
+
+``wait``
+    span — a rank was parked on a simulated operation; ``name`` is the
+    parker label (``sleep``, ``xfs:transfer``, ``recv(src=0, tag=3)``,
+    ...).  Modelled compute time is a ``sleep`` wait.
+``io``
+    span — one timed filesystem operation; args are
+    ``(fs_name, path, offset, nbytes, charged_bytes)``.
+``io.coll``
+    span — a collective MPI-IO call (``write_at_all``/``read_at_all``);
+    args are ``(path, nbytes, nregions)``.
+``phase``
+    span — a :class:`repro.simmpi.trace.PhaseRecorder` phase; ``name``
+    is the phase name.
+``comm.coll``
+    span — a collective communication call; ``name`` is the op.
+``comm.send``
+    instant — message injection; args are
+    ``(dest, tag, nbytes, mid, dropped)``.
+``comm.recv``
+    instant — message pickup by the receiver; args are
+    ``(source, tag, nbytes, mid, sent_at)``.  ``mid`` matches the
+    corresponding ``comm.send`` — the edge the critical-path walk
+    follows.
+``fs.streams``
+    instant — the number of concurrent streams on a bandwidth pipe
+    changed; args are ``(pipe_name, streams)``.  Exported as a counter
+    track (contention windows are visible as plateaus > 1).
+``fault``
+    instant — mirror of a :class:`repro.simmpi.faults.FaultReport`
+    entry; ``name`` is the report kind (``inject:crash``, ...), args
+    are the report detail.
+``fault.kill``
+    instant — the engine executed an injected kill of ``rank``.
+
+The scheduler (not a rank) emits some events; those carry
+``rank == SCHEDULER_RANK``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+EV_WAIT = "wait"
+EV_IO = "io"
+EV_IO_COLL = "io.coll"
+EV_PHASE = "phase"
+EV_COLL = "comm.coll"
+EV_SEND = "comm.send"
+EV_RECV = "comm.recv"
+EV_STREAMS = "fs.streams"
+EV_FAULT = "fault"
+EV_KILL = "fault.kill"
+
+#: Rank used for events emitted from scheduler actions (no rank thread).
+SCHEDULER_RANK = -1
+
+#: Kinds whose events are spans (``t1 >= t0``); the rest are instants.
+SPAN_KINDS = frozenset({EV_WAIT, EV_IO, EV_IO_COLL, EV_PHASE, EV_COLL})
+
+
+class Event:
+    """One trace event: a span (``t0 <= t1``) or an instant (``t0 == t1``)."""
+
+    __slots__ = ("kind", "rank", "t0", "t1", "name", "args")
+
+    def __init__(
+        self,
+        kind: str,
+        rank: int,
+        t0: float,
+        t1: float,
+        name: str,
+        args: tuple = (),
+    ) -> None:
+        self.kind = kind
+        self.rank = rank
+        self.t0 = t0
+        self.t1 = t1
+        self.name = name
+        self.args = args
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def is_span(self) -> bool:
+        return self.kind in SPAN_KINDS
+
+    def as_tuple(self) -> tuple:
+        """Canonical form for determinism comparisons (times rounded the
+        same way :class:`repro.simmpi.faults.FaultEvent` rounds)."""
+        return (
+            round(self.t0, 9),
+            round(self.t1, 9),
+            self.rank,
+            self.kind,
+            self.name,
+            self.args,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        span = f"{self.t0:.6f}..{self.t1:.6f}" if self.t1 != self.t0 else f"@{self.t0:.6f}"
+        return f"Event({self.kind} rank={self.rank} {span} {self.name!r} {self.args!r})"
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of event args to JSON-encodable values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    return repr(value)

@@ -1,0 +1,146 @@
+"""Exporters: Chrome/Perfetto ``trace.json`` and run-metrics JSON.
+
+``chrome_trace`` emits the Trace Event Format that both
+``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+- span events become complete events (``ph: "X"``) with microsecond
+  ``ts``/``dur`` on one track per rank (``pid 0``, ``tid`` = rank);
+- instants become ``ph: "i"`` thread-scoped marks;
+- ``fs.streams`` counts become counter tracks (``ph: "C"``) — pipe
+  contention windows render as plateaus above 1;
+- scheduler-emitted events (``rank == SCHEDULER_RANK``) land on a
+  dedicated ``scheduler`` track after the rank tracks.
+
+``run_metrics`` flattens a :class:`repro.simmpi.launcher.RunResult` into
+the machine-readable dict the bench files (``BENCH_*.json``) store and
+:mod:`repro.obs.compare` diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.obs.events import (
+    EV_STREAMS,
+    SCHEDULER_RANK,
+    Event,
+    jsonable,
+)
+
+_US = 1e6  # virtual seconds -> trace microseconds
+
+
+def _tid(rank: int, nranks: int) -> int:
+    return nranks if rank == SCHEDULER_RANK else rank
+
+
+def chrome_trace(events: list[Event], nranks: int) -> dict:
+    """The full trace as a Trace-Event-Format dict (JSON object form)."""
+    out: list[dict] = []
+    for r in range(nranks):
+        out.append(
+            {
+                "ph": "M", "pid": 0, "tid": r, "name": "thread_name",
+                "args": {"name": f"rank {r}"},
+            }
+        )
+    out.append(
+        {
+            "ph": "M", "pid": 0, "tid": nranks, "name": "thread_name",
+            "args": {"name": "scheduler"},
+        }
+    )
+    for ev in events:
+        tid = _tid(ev.rank, nranks)
+        if ev.kind == EV_STREAMS:
+            pipe, streams = ev.args[0], ev.args[1]
+            out.append(
+                {
+                    "ph": "C", "pid": 0, "tid": 0,
+                    "ts": ev.t0 * _US,
+                    "name": f"streams:{pipe}",
+                    "args": {"streams": streams},
+                }
+            )
+            continue
+        args = {"args": [jsonable(a) for a in ev.args]} if ev.args else {}
+        if ev.is_span:
+            out.append(
+                {
+                    "ph": "X", "pid": 0, "tid": tid,
+                    "ts": ev.t0 * _US,
+                    "dur": max(ev.t1 - ev.t0, 0.0) * _US,
+                    "cat": ev.kind, "name": ev.name,
+                    "args": args,
+                }
+            )
+        else:
+            out.append(
+                {
+                    "ph": "i", "pid": 0, "tid": tid, "s": "t",
+                    "ts": ev.t0 * _US,
+                    "cat": ev.kind, "name": f"{ev.kind}:{ev.name}",
+                    "args": args,
+                }
+            )
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | pathlib.Path, events: list[Event], nranks: int
+) -> None:
+    p = pathlib.Path(path)
+    p.write_text(json.dumps(chrome_trace(events, nranks)) + "\n")
+
+
+# ----------------------------------------------------------------------
+# run metrics
+# ----------------------------------------------------------------------
+def run_metrics(result, *, program: str | None = None) -> dict:
+    """Flatten one ``RunResult`` for bench JSON storage/comparison.
+
+    Keys are stable and scalar-valued where compared: ``makespan``,
+    per-phase maxima under ``phases``, counter totals under ``counters``.
+    """
+    phase_names = sorted({k for p in result.phase_times for k in p})
+    d: dict = {
+        "program": program,
+        "nprocs": result.nprocs,
+        "platform": result.platform,
+        "makespan": result.makespan,
+        "phases": {n: result.phase_max(n) for n in phase_names},
+        "messages_sent": result.messages_sent,
+        "bytes_sent": result.bytes_sent,
+        "fs_read_ops": result.fs_read_ops,
+        "fs_write_ops": result.fs_write_ops,
+        "dead_ranks": list(result.dead_ranks),
+    }
+    if result.metrics is not None:
+        d["counters"] = dict(result.metrics.get("totals", {}))
+        d["global_counters"] = dict(
+            result.metrics.get("global", {}).get("counters", {})
+        )
+    if result.events is not None:
+        from repro.obs.critical_path import attribute_makespan, critical_path
+
+        attr = attribute_makespan(
+            result.events, result.nprocs, result.makespan
+        )
+        cp = critical_path(result.events, result.nprocs, result.makespan)
+        d["attribution_rank_max"] = {
+            c: max((a[c] for a in attr), default=0.0)
+            for c in attr[0] if attr
+        }
+        d["critical_path"] = cp.by_class()
+        d["critical_path_coverage"] = cp.coverage
+    return d
+
+
+def write_run_metrics(
+    path: str | pathlib.Path, result, *, program: str | None = None
+) -> None:
+    pathlib.Path(path).write_text(
+        json.dumps(run_metrics(result, program=program), indent=2,
+                   sort_keys=True) + "\n"
+    )

@@ -1,0 +1,59 @@
+"""The event tracer: an append-only, deterministic event collector.
+
+A :class:`Tracer` is attached to a cluster at construction
+(``simmpi.launcher.run(..., tracer=...)``); every instrumented layer
+holds a reference and guards each emission with ``if tracer is not
+None`` — tracing disabled therefore costs one attribute load and a
+comparison per hook site, and changes *nothing* about the simulation
+(events record times, they never charge them).
+
+Because the engine executes events in a deterministic order, the
+sequence of ``emit`` calls — and hence the event list — is a pure
+function of the workload, the platform, and the fault plan: the same
+seed and :class:`repro.simmpi.faults.FaultPlan` reproduce a
+byte-identical event stream (asserted by ``tests/test_obs_tracer.py``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import Event, SPAN_KINDS
+
+
+class Tracer:
+    """Collects :class:`repro.obs.events.Event` records for one run."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    # Hot path: one call per simulated operation when tracing is on.
+    def span(
+        self, kind: str, rank: int, t0: float, t1: float,
+        name: str, *args: object,
+    ) -> None:
+        """Record a completed span (emitted at its end time)."""
+        self.events.append(Event(kind, rank, t0, t1, name, args))
+
+    def instant(
+        self, kind: str, rank: int, t: float, name: str, *args: object
+    ) -> None:
+        """Record a point event."""
+        self.events.append(Event(kind, rank, t, t, name, args))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_kind(self, kind: str) -> list[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_rank(self, rank: int) -> list[Event]:
+        return [e for e in self.events if e.rank == rank]
+
+    def spans(self) -> list[Event]:
+        return [e for e in self.events if e.kind in SPAN_KINDS]
+
+    def as_tuples(self) -> tuple:
+        """Canonical stream for replay/determinism comparison."""
+        return tuple(e.as_tuple() for e in self.events)

@@ -36,6 +36,7 @@ from repro.parallel.pioblast import run_pioblast
 from repro.parallel.queryseg import run_queryseg
 from repro.parallel.phases import (
     PhaseBreakdown,
+    bottleneck_table,
     breakdown_from_run,
     fault_summary,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "run_pioblast",
     "run_queryseg",
     "PhaseBreakdown",
+    "bottleneck_table",
     "breakdown_from_run",
     "fault_summary",
 ]

@@ -767,6 +767,7 @@ def run_mpiblast(
     platform: PlatformSpec | None = None,
     *,
     faults: FaultPlan | None = None,
+    tracer=None,
 ) -> RunResult:
     """Run the mpiBLAST reproduction on a simulated cluster.
 
@@ -790,4 +791,5 @@ def run_mpiblast(
         shared_store=store,
         args={"config": config, "ft": ft_mode},
         faults=faults,
+        tracer=tracer,
     )

@@ -72,6 +72,28 @@ def fault_summary(result: RunResult) -> str:
     return "\n".join(lines)
 
 
+def bottleneck_table(result: RunResult, *, title: str | None = None) -> str:
+    """Event-derived makespan attribution for a *traced* run.
+
+    Requires ``result.events`` (run with a :class:`repro.obs.Tracer`);
+    raises ``ValueError`` otherwise.  Lazy import keeps ``repro.obs``
+    out of the drivers' import graph.
+    """
+    if result.events is None:
+        raise ValueError(
+            "bottleneck_table needs a traced run "
+            "(pass tracer=repro.obs.Tracer() to the driver)"
+        )
+    from repro.obs.critical_path import render_bottleneck_table
+
+    return render_bottleneck_table(
+        result.events,
+        result.nprocs,
+        result.makespan,
+        title=title or f"Bottleneck attribution — {result.platform}",
+    )
+
+
 def breakdown_from_run(program: str, result: RunResult) -> PhaseBreakdown:
     copy_input = result.phase_max(COPY) + result.phase_max(INPUT)
     search = result.phase_max(SEARCH)

@@ -901,6 +901,7 @@ def run_pioblast(
     platform: PlatformSpec | None = None,
     *,
     faults: FaultPlan | None = None,
+    tracer=None,
 ) -> RunResult:
     """Run pioBLAST on a simulated cluster.
 
@@ -924,4 +925,5 @@ def run_pioblast(
         shared_store=store,
         args={"config": config, "ft": ft_mode},
         faults=faults,
+        tracer=tracer,
     )

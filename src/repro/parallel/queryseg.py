@@ -143,6 +143,8 @@ def run_queryseg(
     store: FileStore,
     config: ParallelConfig,
     platform: PlatformSpec | None = None,
+    *,
+    tracer=None,
 ) -> RunResult:
     """Run the query-segmentation baseline on a simulated cluster."""
     if nprocs < 2:
@@ -153,4 +155,5 @@ def run_queryseg(
         platform,
         shared_store=store,
         args={"config": config},
+        tracer=tracer,
     )

@@ -16,11 +16,13 @@ what the BLAST layers ship, are immutable anyway.
 
 from __future__ import annotations
 
+import functools
 import operator
 from dataclasses import dataclass, field
 from functools import reduce as _functools_reduce
 from typing import Any, Callable
 
+from repro.obs.events import EV_COLL, EV_RECV, EV_SEND
 from repro.simmpi.engine import Engine, Parker, SimError
 from repro.simmpi.network import NetworkModel, payload_nbytes
 
@@ -61,6 +63,11 @@ class _Message:
     payload: Any = field(compare=False)
     nbytes: int = field(compare=False)
     sender_parker: Parker | None = field(compare=False, default=None)
+    # Tracing envelope: unique message id + injection time.  ``mid``
+    # links the receiver's ``comm.recv`` event back to the sender's
+    # ``comm.send`` — the edge the critical-path walk follows.
+    mid: int = field(compare=False, default=0)
+    sent_at: float = field(compare=False, default=0.0)
 
 
 @dataclass
@@ -85,6 +92,31 @@ class Request:
             self._value = self._wait_fn()
             self._done = True
         return self._value
+
+
+def _traced_coll(fn: Callable) -> Callable:
+    """Wrap a collective so each call emits one ``comm.coll`` span.
+
+    Composed collectives (``allgather`` = gather + bcast) nest their
+    constituent spans inside the outer one; the attribution layer only
+    sums ``wait`` spans, so nesting never double-counts time.
+    """
+    op = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(self: "Communicator", *args: Any, **kwargs: Any) -> Any:
+        if self.metrics is not None:
+            self.metrics.inc(self.rank, f"coll.{op}")
+        tr = self.tracer
+        if tr is None:
+            return fn(self, *args, **kwargs)
+        rank = self.rank
+        t0 = self.engine.now
+        out = fn(self, *args, **kwargs)
+        tr.span(EV_COLL, rank, t0, self.engine.now, op)
+        return out
+
+    return wrapper
 
 
 class _Endpoint:
@@ -120,6 +152,10 @@ class Communicator:
         # statistics
         self.messages_sent = 0
         self.bytes_sent = 0
+        # observability (wired by the launcher; None costs one check)
+        self.tracer: Any = None
+        self.metrics: Any = None
+        self._msg_uid = 0
         #: optional :class:`repro.simmpi.faults.ActiveFaults` hook — the
         #: launcher attaches it when a fault plan is in force.  Consulted
         #: on every send for drops, delays and congestion windows.
@@ -165,6 +201,37 @@ class Communicator:
             )
         return dropped, extra
 
+    def _record_send(
+        self, dest: int, tag: int, size: int, dropped: bool
+    ) -> tuple[int, float]:
+        """Observability bookkeeping for one injection; returns the
+        message id and injection time threaded into the envelope."""
+        self._msg_uid += 1
+        now = self.engine.now
+        if self.metrics is not None:
+            rank = self.rank
+            self.metrics.inc(rank, "msgs_sent")
+            self.metrics.inc(rank, "bytes_sent", size)
+            self.metrics.observe(rank, "msg_nbytes", size)
+            if dropped:
+                self.metrics.inc(rank, "msgs_dropped")
+        if self.tracer is not None:
+            self.tracer.instant(
+                EV_SEND, self.rank, now, "send",
+                dest, tag, size, self._msg_uid, dropped,
+            )
+        return self._msg_uid, now
+
+    def _record_recv(self, msg: _Message) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(self.rank, "msgs_recv")
+            self.metrics.inc(self.rank, "bytes_recv", msg.nbytes)
+        if self.tracer is not None:
+            self.tracer.instant(
+                EV_RECV, self.rank, self.engine.now, "recv",
+                msg.source, msg.tag, msg.nbytes, msg.mid, msg.sent_at,
+            )
+
     def _send_internal(
         self, obj: Any, dest: int, tag: int, nbytes: int | None = None
     ) -> None:
@@ -175,6 +242,7 @@ class Communicator:
         # Sender-side software overhead.
         self.engine.sleep(net.overhead)
         dropped, extra = self._fault_check(dest, tag, size)
+        mid, sent_at = self._record_send(dest, tag, size, dropped)
         arrival = self.engine.now + net.delivery_time(size) + extra
         if dropped:
             # The sender pays the usual injection cost but the payload
@@ -185,13 +253,15 @@ class Communicator:
                 self.engine.sleep_until(arrival)
             return
         if net.is_eager(size):
-            self._deliver_at(arrival, self.rank, dest, tag, obj, size, None)
+            self._deliver_at(arrival, self.rank, dest, tag, obj, size, None,
+                             mid, sent_at)
         else:
             # Rendezvous: sender stays busy until the payload drains.
             done = self.engine.make_parker(
                 label=f"send(dest={dest}, tag={tag}, rendezvous)"
             )
-            self._deliver_at(arrival, self.rank, dest, tag, obj, size, done)
+            self._deliver_at(arrival, self.rank, dest, tag, obj, size, done,
+                             mid, sent_at)
             self.engine.park(done)
 
     def isend(self, obj: Any, dest: int, tag: int = 0, nbytes: int | None = None) -> Request:
@@ -204,10 +274,12 @@ class Communicator:
         self.bytes_sent += size
         self.engine.sleep(self.network.overhead)
         dropped, extra = self._fault_check(dest, tag, size)
+        mid, sent_at = self._record_send(dest, tag, size, dropped)
         if dropped:
             return Request(lambda: None)
         arrival = self.engine.now + self.network.delivery_time(size) + extra
-        self._deliver_at(arrival, self.rank, dest, tag, obj, size, None)
+        self._deliver_at(arrival, self.rank, dest, tag, obj, size, None,
+                         mid, sent_at)
         return Request(lambda: None)
 
     def _deliver_at(
@@ -219,6 +291,8 @@ class Communicator:
         payload: Any,
         nbytes: int,
         sender_parker: Parker | None,
+        mid: int = 0,
+        sent_at: float = 0.0,
     ) -> None:
         chan = (source, dest)
         t = max(t, self._last_arrival.get(chan, 0.0))
@@ -227,7 +301,7 @@ class Communicator:
         def deliver() -> None:
             self._arrival_seq += 1
             msg = _Message(self._arrival_seq, source, tag, payload, nbytes,
-                           sender_parker)
+                           sender_parker, mid, sent_at)
             ep = self._endpoints[dest]
             # Wake the earliest-posted matching pending receive, if any.
             for i, pr in enumerate(ep.pending):
@@ -315,6 +389,7 @@ class Communicator:
             msg = got
         else:
             self._complete_rendezvous(msg)
+        self._record_recv(msg)
         # Receiver-side software overhead (charged only on success).
         self.engine.sleep(self.network.overhead)
         if status is not None:
@@ -333,6 +408,7 @@ class Communicator:
         msg = self._match_queued(ep, source, tag, consume=True)
         if msg is not None:
             self._complete_rendezvous(msg)
+            self._record_recv(msg)
             return Request(lambda: msg.payload)
         self._post_seq += 1
         parker = self.engine.make_parker(
@@ -344,6 +420,7 @@ class Communicator:
 
         def waiter() -> Any:
             got: _Message = self.engine.park(parker)
+            self._record_recv(got)
             self.engine.sleep(self.network.overhead)
             return got.payload
 
@@ -384,6 +461,7 @@ class Communicator:
         if msg is not None:
             if consume:
                 self._complete_rendezvous(msg)
+                self._record_recv(msg)
             return msg
         self._post_seq += 1
         what = "recv" if consume else "probe"
@@ -393,7 +471,10 @@ class Communicator:
         ep.pending.append(
             _PendingRecv(self._post_seq, source, tag, parker, consume)
         )
-        return self.engine.park(parker)
+        msg = self.engine.park(parker)
+        if consume:
+            self._record_recv(msg)
+        return msg
 
     # ------------------------------------------------------------------
     # collectives (binomial-tree over point-to-point)
@@ -412,6 +493,7 @@ class Communicator:
         self.engine.sleep(self.network.overhead)
         return msg.payload
 
+    @_traced_coll
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Binomial-tree broadcast; returns the object on every rank."""
         self._check_rank(root, "root")
@@ -436,6 +518,7 @@ class Communicator:
             mask >>= 1
         return obj
 
+    @_traced_coll
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one object per rank to ``root`` (list indexed by rank)."""
         self._check_rank(root, "root")
@@ -460,6 +543,7 @@ class Communicator:
             return [mine[r] for r in range(size)]
         return None
 
+    @_traced_coll
     def gatherv(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Flat gather (each rank sends directly to root).
 
@@ -485,6 +569,7 @@ class Communicator:
         status.source, status.tag, status.nbytes = msg.source, msg.tag, msg.nbytes
         return msg.payload
 
+    @_traced_coll
     def scatter(self, objs: list[Any] | None, root: int = 0) -> Any:
         """Scatter a list of ``size`` items from root; returns this rank's."""
         self._check_rank(root, "root")
@@ -500,11 +585,13 @@ class Communicator:
 
     scatterv = scatter
 
+    @_traced_coll
     def allgather(self, obj: Any) -> list[Any]:
         """Gather to rank 0 then broadcast (tree both ways)."""
         gathered = self.gather(obj, root=0)
         return self.bcast(gathered, root=0)
 
+    @_traced_coll
     def reduce(
         self, obj: Any, op: Callable[[Any, Any], Any] = operator.add, root: int = 0
     ) -> Any | None:
@@ -514,10 +601,12 @@ class Communicator:
             return _functools_reduce(op, gathered)
         return None
 
+    @_traced_coll
     def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = operator.add) -> Any:
         res = self.reduce(obj, op=op, root=0)
         return self.bcast(res, root=0)
 
+    @_traced_coll
     def alltoall(self, objs: list[Any]) -> list[Any]:
         """Each rank sends ``objs[r]`` to rank r; returns received list."""
         if len(objs) != self.size:
@@ -535,6 +624,7 @@ class Communicator:
             out[st.source] = payload
         return out
 
+    @_traced_coll
     def barrier(self) -> None:
         """Tree gather + broadcast barrier."""
         self.gather(None, root=0)

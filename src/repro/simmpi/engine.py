@@ -33,6 +33,8 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
+from repro.obs.events import EV_KILL, EV_WAIT, SCHEDULER_RANK
+
 
 class SimError(RuntimeError):
     """Raised for misuse of the simulator (deadlock, bad rank, ...)."""
@@ -120,6 +122,11 @@ class Engine:
         self.dead_ranks: set[int] = set()
         #: optional observer called as ``fn(rank, time)`` when a kill fires
         self.on_rank_killed: Callable[[int, float], None] | None = None
+        #: optional :class:`repro.obs.Tracer` — wired by the launcher;
+        #: when ``None`` (the default) the hooks are a single comparison
+        self.tracer: Any = None
+        #: optional :class:`repro.obs.MetricsRegistry` (per-rank wait time)
+        self.metrics: Any = None
 
     # ------------------------------------------------------------------
     # construction
@@ -193,12 +200,23 @@ class Engine:
             raise RankKilled(rt.rank)
         with self._lock:
             if not parker.woken:
+                t0 = self.now
                 rt.waiting_on = parker
                 rt.state = "blocked"
                 self._sched_cv.notify()
                 while rt.state != "running":
                     rt.cv.wait()
                 rt.waiting_on = None
+                # Virtual time only passes while ranks are parked, so
+                # these spans tile a rank's lifetime — the totality the
+                # critical-path attribution in repro.obs relies on.
+                if self.metrics is not None and self.now > t0:
+                    self.metrics.inc(rt.rank, "wait_s", self.now - t0)
+                if self.tracer is not None:
+                    self.tracer.span(
+                        EV_WAIT, rt.rank, t0, self.now,
+                        parker.label or "unlabelled",
+                    )
             if rt.killed:
                 raise RankKilled(rt.rank)
             if not parker.woken:
@@ -261,6 +279,10 @@ class Engine:
         self.dead_ranks.add(rank)
         if self.on_rank_killed is not None:
             self.on_rank_killed(rank, self.now)
+        if self.tracer is not None:
+            self.tracer.instant(
+                EV_KILL, SCHEDULER_RANK, self.now, "kill", rank
+            )
         if rt.state == "blocked":
             # Wake the thread so park() observes the kill and unwinds.
             self._run_thread(rt)

@@ -29,6 +29,7 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.obs.events import EV_FAULT, SCHEDULER_RANK
 from repro.simmpi.engine import Engine, SimError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -168,9 +169,16 @@ class FaultReport:
         self.missing_fragments: list[int] = []
         self.dead_ranks: list[int] = []
         self.degraded: bool = False
+        # observability mirrors (wired by the launcher; None = off)
+        self.tracer: Any = None
+        self.metrics: Any = None
 
     def record(self, time: float, kind: str, *detail: Any) -> None:
         self.events.append(FaultEvent(time, kind, tuple(detail)))
+        if self.metrics is not None:
+            self.metrics.inc(None, f"faults.{kind}")
+        if self.tracer is not None:
+            self.tracer.instant(EV_FAULT, SCHEDULER_RANK, time, kind, *detail)
 
     def count(self, kind_prefix: str) -> int:
         return sum(1 for e in self.events if e.kind.startswith(kind_prefix))

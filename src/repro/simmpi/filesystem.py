@@ -21,6 +21,9 @@ processor-sharing bandwidth pipe plus a fixed per-operation overhead
 
 from __future__ import annotations
 
+from typing import Any
+
+from repro.obs.events import EV_IO
 from repro.simmpi.engine import Engine, SimError
 from repro.simmpi.resource import SharedBandwidth
 
@@ -113,10 +116,29 @@ class FilesystemModel:
         #: at the top of every *timed* operation; may raise a
         #: :class:`repro.simmpi.faults.TransientIOError`.
         self.faults = None
+        # observability (wired by the launcher; None costs one check)
+        self.tracer: Any = None
+        self.metrics: Any = None
 
     def _fault_check(self, op: str, path: str) -> None:
         if self.faults is not None:
             self.faults.on_io(self.name, op, path, self.engine.now)
+
+    def _record_io(
+        self, op: str, path: str, offset: int, nbytes: int,
+        charged: int, t0: float,
+    ) -> None:
+        """Observability bookkeeping for one completed timed op."""
+        rank = self.engine.current_rank()
+        if self.metrics is not None:
+            self.metrics.inc(rank, f"io_{op}_ops")
+            self.metrics.inc(rank, f"io_{op}_bytes", nbytes)
+            self.metrics.observe(rank, "io_nbytes", nbytes)
+        if self.tracer is not None:
+            self.tracer.span(
+                EV_IO, rank, t0, self.engine.now, op,
+                self.name, path, offset, nbytes, charged,
+            )
 
     # -- timed operations ------------------------------------------------
     # ``charge_bytes`` overrides the byte count used for *timing* (the
@@ -125,27 +147,40 @@ class FilesystemModel:
     def read(self, path: str, offset: int = 0, size: int | None = None,
              *, charge_bytes: int | None = None) -> bytes:
         self._fault_check("read", path)
+        t0 = self.engine.now
         data = self.store.read(path, offset, size)
         self.read_ops += 1
+        charged = len(data) if charge_bytes is None else charge_bytes
         self.engine.sleep(self.op_overhead)
-        self.pipe.transfer(len(data) if charge_bytes is None else charge_bytes)
+        self.pipe.transfer(charged)
+        if self.tracer is not None or self.metrics is not None:
+            self._record_io("read", path, offset, len(data), charged, t0)
         return data
 
     def write(self, path: str, offset: int, data: bytes,
               *, charge_bytes: int | None = None) -> None:
         self._fault_check("write", path)
+        t0 = self.engine.now
         self.write_ops += 1
+        charged = len(data) if charge_bytes is None else charge_bytes
         self.engine.sleep(self.op_overhead)
-        self.pipe.transfer(len(data) if charge_bytes is None else charge_bytes)
+        self.pipe.transfer(charged)
         self.store.write(path, offset, data)
+        if self.tracer is not None or self.metrics is not None:
+            self._record_io("write", path, offset, len(data), charged, t0)
 
     def append(self, path: str, data: bytes,
                *, charge_bytes: int | None = None) -> int:
         self._fault_check("append", path)
+        t0 = self.engine.now
         self.write_ops += 1
+        charged = len(data) if charge_bytes is None else charge_bytes
         self.engine.sleep(self.op_overhead)
-        self.pipe.transfer(len(data) if charge_bytes is None else charge_bytes)
-        return self.store.append(path, data)
+        self.pipe.transfer(charged)
+        off = self.store.append(path, data)
+        if self.tracer is not None or self.metrics is not None:
+            self._record_io("append", path, off, len(data), charged, t0)
+        return off
 
     # -- untimed metadata (cheap enough to ignore) ------------------------
     def exists(self, path: str) -> bool:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.obs.events import EV_IO_COLL
 from repro.simmpi.comm import Communicator
 from repro.simmpi.engine import SimError
 from repro.simmpi.filesystem import FilesystemModel
@@ -131,6 +132,8 @@ class MPIFile:
 
         comm, eng = self.comm, self.fs.engine
         my_bytes = int(view.total_bytes * data_scale)
+        tracer = self.fs.tracer
+        t0 = eng.now
 
         # Phase 0: collective entry (small control messages).
         comm.barrier()
@@ -154,12 +157,19 @@ class MPIFile:
 
         # Phase 3: collective exit.
         comm.barrier()
+        if tracer is not None:
+            tracer.span(
+                EV_IO_COLL, comm.rank, t0, eng.now, "write_at_all",
+                self.path, my_bytes, len(view.regions),
+            )
 
     def read_at_all(self, view: FileView | None = None) -> list[bytes]:
         """Collective read of each rank's view regions."""
         v = view if view is not None else (self._view or FileView())
         v.validate()
         comm, eng = self.comm, self.fs.engine
+        tracer = self.fs.tracer
+        t_enter = eng.now
         comm.barrier()
         my_bytes = v.total_bytes
         net = comm.network
@@ -173,6 +183,11 @@ class MPIFile:
             out.append(self.fs.store.read(self.path, off, n))
         eng.sleep(shuffle)
         comm.barrier()
+        if tracer is not None:
+            tracer.span(
+                EV_IO_COLL, comm.rank, t_enter, eng.now, "read_at_all",
+                self.path, my_bytes, len(v.regions),
+            )
         return out
 
     def size(self) -> int:

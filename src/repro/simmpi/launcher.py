@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.simmpi.comm import Communicator
 from repro.simmpi.engine import Engine
 from repro.simmpi.faults import FaultPlan, FaultReport
@@ -130,6 +132,8 @@ class Cluster:
         *,
         shared_store: FileStore | None = None,
         faults: FaultPlan | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError("need at least one process")
@@ -155,6 +159,11 @@ class Cluster:
         # it unconditionally); an ActiveFaults runtime only when a plan
         # was supplied.
         self.fault_report = FaultReport()
+        # Observability: metrics are cheap enough to collect on every run;
+        # the tracer is opt-in (None keeps every hook a single `is None`).
+        self.metrics = metrics if metrics is not None else MetricsRegistry(nprocs)
+        self.tracer = tracer
+        self._wire_observability()
         self.faults = None
         if faults is not None and faults.events:
             self.faults = faults.activate(self)
@@ -163,6 +172,21 @@ class Cluster:
             if self.local_disks:
                 for d in self.local_disks:
                     d.faults = self.faults
+
+    def _wire_observability(self) -> None:
+        """Attach the tracer/metrics to every instrumented component."""
+        t, m = self.tracer, self.metrics
+        self.engine.tracer = t
+        self.engine.metrics = m
+        self.comm.tracer = t
+        self.comm.metrics = m
+        self.phases.tracer = t
+        self.fault_report.tracer = t
+        self.fault_report.metrics = m
+        for fs in [self.shared_fs, *(self.local_disks or [])]:
+            fs.tracer = t
+            fs.metrics = m
+            fs.pipe.tracer = t
 
 
 @dataclass
@@ -182,6 +206,10 @@ class RunResult:
     fs_write_ops: int
     fault_report: FaultReport | None = None
     dead_ranks: tuple[int, ...] = ()
+    #: metrics registry snapshot (``repro.obs.MetricsRegistry.snapshot``)
+    metrics: dict[str, Any] | None = None
+    #: the raw traced event list (only when a tracer was passed to ``run``)
+    events: list[Any] | None = None
 
     def phase_max(self, phase: str) -> float:
         """Max over ranks — the phase's contribution to the makespan."""
@@ -206,6 +234,7 @@ def run(
     shared_store: FileStore | None = None,
     args: dict[str, Any] | None = None,
     faults: FaultPlan | None = None,
+    tracer: Tracer | None = None,
 ) -> RunResult:
     """Execute ``program`` on every rank of a fresh simulated cluster.
 
@@ -213,9 +242,13 @@ def run(
     (formatted databases, query files) and inspect outputs afterwards.
     ``faults`` injects a deterministic :class:`FaultPlan`; the resulting
     :class:`FaultReport` is returned on the :class:`RunResult`.
+    ``tracer`` enables structured event tracing (``repro.obs.Tracer``);
+    the traced events come back on ``RunResult.events``.
     """
     plat = platform if platform is not None else PlatformSpec()
-    cluster = Cluster(nprocs, plat, shared_store=shared_store, faults=faults)
+    cluster = Cluster(
+        nprocs, plat, shared_store=shared_store, faults=faults, tracer=tracer
+    )
     ctxs = [ProcContext(cluster, r, dict(args or {})) for r in range(nprocs)]
 
     def make_body(ctx: ProcContext) -> Callable[[], None]:
@@ -241,4 +274,6 @@ def run(
         fs_write_ops=cluster.shared_fs.write_ops,
         fault_report=cluster.fault_report,
         dead_ranks=tuple(sorted(cluster.engine.dead_ranks)),
+        metrics=cluster.metrics.snapshot(),
+        events=tracer.events if tracer is not None else None,
     )

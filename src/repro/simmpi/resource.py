@@ -14,8 +14,9 @@ only effect (no data moves here — data lives in the filesystem layer).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
+from repro.obs.events import EV_STREAMS, SCHEDULER_RANK
 from repro.simmpi.engine import Engine, Parker, SimError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -73,6 +74,10 @@ class SharedBandwidth:
         # statistics
         self.total_bytes = 0.0
         self.total_transfers = 0
+        #: optional :class:`repro.obs.Tracer` — stream-count changes are
+        #: emitted as ``fs.streams`` instants; a count held above 1 is a
+        #: contention window (rendered as a counter track in Perfetto).
+        self.tracer: Any = None
 
     # ------------------------------------------------------------------
     def transfer(self, nbytes: float) -> None:
@@ -87,6 +92,11 @@ class SharedBandwidth:
         tr = _Transfer(parker, float(nbytes))
         self._settle()
         self._active.append(tr)
+        if self.tracer is not None:
+            self.tracer.instant(
+                EV_STREAMS, self.engine.current_rank(), self.engine.now,
+                "streams", self.name, len(self._active),
+            )
         self._reschedule()
         self.engine.park(parker)
 
@@ -157,6 +167,12 @@ class SharedBandwidth:
             self._reschedule()
             return
         self._active = [tr for tr in self._active if tr not in done]
+        if self.tracer is not None:
+            # Runs on the scheduler thread: no owning rank.
+            self.tracer.instant(
+                EV_STREAMS, SCHEDULER_RANK, self.engine.now,
+                "streams", self.name, len(self._active),
+            )
         self._reschedule()
         for tr in done:
             self.engine.unpark_at(tr.parker, self.engine.now)

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Any
 
+from repro.obs.events import EV_PHASE
 from repro.simmpi.engine import Engine
 
 
@@ -52,6 +54,9 @@ class PhaseRecorder:
         self.timeline = timeline
         self._acc: list[dict[str, float]] = [dict() for _ in range(nranks)]
         self._stack: list[list[str]] = [[] for _ in range(nranks)]
+        #: optional :class:`repro.obs.Tracer`; phase exits emit ``phase``
+        #: spans alongside the Timeline record.
+        self.tracer: Any = None
 
     @contextmanager
     def phase(self, name: str):
@@ -64,10 +69,6 @@ class PhaseRecorder:
         rank = self.engine.current_rank()
         start = self.engine.now
         stack = self._stack[rank]
-        if stack:
-            # Close out the enclosing phase's running interval.
-            outer = stack[-1]
-            self._acc[rank][outer] = self._acc[rank].get(outer, 0.0)
         stack.append(name)
         try:
             yield
@@ -83,6 +84,8 @@ class PhaseRecorder:
                 acc[outer] = acc.get(outer, 0.0) - (end - start)
             if self.timeline is not None:
                 self.timeline.add(Span(rank, name, start, end))
+            if self.tracer is not None:
+                self.tracer.span(EV_PHASE, rank, start, end, name)
 
     def seconds(self, rank: int, phase: str) -> float:
         return self._acc[rank].get(phase, 0.0)

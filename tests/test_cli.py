@@ -96,3 +96,65 @@ class TestSimulateCommand:
         ])
         assert rc == 0
         assert "ncsu-blade" in capsys.readouterr().out
+
+
+class TestSimulateObservability:
+    def test_trace_and_metrics_files(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main([
+            "simulate", "pioblast", "--nprocs", "4",
+            "--db-sequences", "60", "--mean-length", "100",
+            "--query-bytes", "1000",
+            "--trace", str(trace), "--metrics-json", str(metrics),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Bottleneck attribution" in out
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        m = json.loads(metrics.read_text())
+        assert m["makespan"] > 0
+        assert m["critical_path_coverage"] > 0.9
+
+    def test_faults_and_trace_compose(self, tmp_path, capsys):
+        """--faults events appear in the --trace with matching virtual
+        timestamps (kill=2@0.05 -> instants at 50000 µs)."""
+        import json
+
+        trace = tmp_path / "trace.json"
+        rc = main([
+            "simulate", "pioblast", "--nprocs", "4",
+            "--db-sequences", "60", "--mean-length", "100",
+            "--query-bytes", "1000",
+            "--faults", "kill=2@0.05", "--trace", str(trace),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dead ranks: [2]" in out
+        doc = json.loads(trace.read_text())
+        faults = [
+            e for e in doc["traceEvents"]
+            if e.get("cat", "").startswith("fault")
+        ]
+        assert faults, "fault instants missing from trace"
+        for ev in faults:
+            assert ev["ph"] == "i"
+            assert ev["ts"] == pytest.approx(0.05 * 1e6)
+
+    def test_metrics_json_without_trace(self, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        rc = main([
+            "simulate", "mpiblast", "--nprocs", "4",
+            "--db-sequences", "60", "--mean-length", "100",
+            "--query-bytes", "1000",
+            "--metrics-json", str(metrics),
+        ])
+        assert rc == 0
+        m = json.loads(metrics.read_text())
+        assert m["counters"]["msgs_sent"] > 0
+        assert "critical_path" not in m
