@@ -141,9 +141,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         query_bytes=args.query_bytes,
     )
     platform = PLATFORMS[args.platform]
+    overrides = {}
+    if args.checkpoint_interval > 0:
+        overrides["checkpoint_interval"] = args.checkpoint_interval
+    if args.checkpoint_dir is not None:
+        overrides["checkpoint_dir"] = args.checkpoint_dir
     b, result, store, cfg = run_program_raw(
         args.program, args.nprocs, wl, platform, faults=faults,
-        tracer=tracer,
+        tracer=tracer, config_overrides=overrides or None,
     )
     print(
         f"{args.program} on {platform.name}, {args.nprocs} processes "
@@ -162,6 +167,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if faults is not None:
         print(fault_summary(result) or
               "faults: none injected, none detected")
+        if result.promotions:
+            print(f"  master promotions: {list(result.promotions)}")
     if tracer is not None:
         from repro.obs import write_chrome_trace
         from repro.parallel import bottleneck_table
@@ -263,6 +270,19 @@ def build_parser() -> argparse.ArgumentParser:
         "'seed=7,kill=2@0.05,slowdisk=4x1.0@0.2,ioerr=nr@0.1n2' "
         "(see FAULTS.md for the full mini-language); switches "
         "mpiblast/pioblast to their fault-tolerant drivers",
+    )
+    m.add_argument(
+        "--checkpoint-interval", type=float, default=0.0,
+        metavar="SECONDS",
+        help="FT master checkpoint period in virtual seconds (0 = "
+        "disabled); with checkpointing on, even the master (rank 0) "
+        "is killable — a surviving worker restores the latest valid "
+        "checkpoint and resumes (see FAULTS.md)",
+    )
+    m.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="virtual-filesystem directory for checkpoint snapshots "
+        "(default: _ckpt)",
     )
     m.add_argument(
         "--trace", default=None, metavar="FILE",

@@ -47,6 +47,11 @@ Kinds
     are the report detail.
 ``fault.kill``
     instant — the engine executed an injected kill of ``rank``.
+``ckpt``
+    span — one checkpoint operation by the (current) master; ``name``
+    is ``save`` or ``restore``, args are ``(path, payload_nbytes)``.
+    The span covers the crash-consistent write (or validated read), so
+    the critical-path walker can attribute checkpoint overhead.
 
 The scheduler (not a rank) emits some events; those carry
 ``rank == SCHEDULER_RANK``.
@@ -66,12 +71,15 @@ EV_RECV = "comm.recv"
 EV_STREAMS = "fs.streams"
 EV_FAULT = "fault"
 EV_KILL = "fault.kill"
+EV_CKPT = "ckpt"
 
 #: Rank used for events emitted from scheduler actions (no rank thread).
 SCHEDULER_RANK = -1
 
 #: Kinds whose events are spans (``t1 >= t0``); the rest are instants.
-SPAN_KINDS = frozenset({EV_WAIT, EV_IO, EV_IO_COLL, EV_PHASE, EV_COLL})
+SPAN_KINDS = frozenset(
+    {EV_WAIT, EV_IO, EV_IO_COLL, EV_PHASE, EV_COLL, EV_CKPT}
+)
 
 
 class Event:

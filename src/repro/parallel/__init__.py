@@ -20,6 +20,11 @@ All drivers produce byte-identical output files for the same inputs
 (the paper's own correctness claim for pioBLAST vs mpiBLAST).
 """
 
+from repro.parallel.checkpoint import (
+    PROMOTE,
+    CheckpointStore,
+    FailoverTracker,
+)
 from repro.parallel.config import FTParams, ParallelConfig, stage_inputs
 from repro.parallel.fragments import (
     mpiformatdb,
@@ -42,6 +47,9 @@ from repro.parallel.phases import (
 )
 
 __all__ = [
+    "PROMOTE",
+    "CheckpointStore",
+    "FailoverTracker",
     "FTParams",
     "ParallelConfig",
     "stage_inputs",

@@ -40,6 +40,12 @@ class FTParams:
     linger: float = 1.0
     #: transient-I/O retry budget (see repro.simmpi.faults.retry_io)
     io_attempts: int = 6
+    #: how long a worker tolerates total silence from the current master
+    #: before advancing to the next failover candidate (master death
+    #: detection; see repro.parallel.checkpoint.FailoverTracker).  Must
+    #: exceed the master's longest healthy silent window — the masters
+    #: ping workers during long output passes to keep that window small.
+    failover_silence: float = 2.0
 
     def scaled(self, factor: float) -> "FTParams":
         """Stretch the protocol's patience for slower-modelled workloads.
@@ -70,6 +76,7 @@ class FTParams:
             write_timeout=self.write_timeout * factor,
             linger=self.linger * small,
             io_attempts=self.io_attempts,
+            failover_silence=self.failover_silence * factor,
         )
 
     @classmethod
@@ -108,11 +115,21 @@ class ParallelConfig:
     # with one collective write per round.
     query_batch: int = 0
     # Fault tolerance: use the pull-RPC scheduling protocol that
-    # survives worker crashes, message drops and transient I/O errors.
-    # Implied whenever a FaultPlan is passed to a driver.  The FT
-    # drivers process all queries in one round (query_batch ignored).
+    # survives worker crashes (and, with checkpointing, master crashes),
+    # message drops and transient I/O errors.  Implied whenever a
+    # FaultPlan is passed to a driver.  The FT drivers process all
+    # queries in one round and *reject* query_batch > 0 with a
+    # ValueError rather than silently dropping the setting.
     fault_tolerance: bool = False
     ft: FTParams = field(default_factory=FTParams)
+    # Master checkpoint/restart (see repro.parallel.checkpoint and
+    # FAULTS.md §7): every checkpoint_interval virtual seconds the FT
+    # master snapshots its scheduler state to checkpoint_dir on the
+    # shared filesystem with a crash-consistent write.  0 disables
+    # periodic saves; a promoted master always *looks* for checkpoints,
+    # so the interval only controls how much work a master crash loses.
+    checkpoint_interval: float = 0.0
+    checkpoint_dir: str = "_ckpt"
 
     def fragments_for(self, nworkers: int) -> int:
         return self.num_fragments if self.num_fragments > 0 else nworkers

@@ -53,6 +53,11 @@ from repro.parallel.common import (
     search_fragment_timed,
     writer_for,
 )
+from repro.parallel.checkpoint import (
+    PROMOTE,
+    CheckpointStore,
+    FailoverTracker,
+)
 from repro.parallel.config import ParallelConfig
 from repro.parallel.fragments import fragment_paths
 from repro.parallel.results import AlignmentMeta, merge_select, meta_from_alignment
@@ -70,6 +75,8 @@ TAG_DONE = 15
 # Fault-tolerant RPC channel (same shape as pioBLAST's; see FAULTS.md).
 TAG_FT_REQ = 16
 TAG_FT_REPLY = 17
+# Master heartbeat / new-master announcement (see repro.parallel.checkpoint).
+TAG_FT_PING = 18
 
 NO_MORE_WORK = -1
 
@@ -323,14 +330,51 @@ def _worker(ctx: ProcContext, cfg: ParallelConfig) -> None:
 # and the owner echoes ``(fseq, alignment)``.  Workers answer fetches
 # from *inside* their RPC receive loop, so a worker blocked waiting for
 # a slow master reply still serves the master's output phase.
+#
+# Master failover (see repro.parallel.checkpoint): the master heartbeats
+# on TAG_FT_PING (especially through the long serialized output pass,
+# which would otherwise look like death to the workers), checkpoints
+# ``frag_metas`` crash-consistently, and on master silence the lowest
+# surviving worker promotes itself, restoring the newest valid
+# checkpoint.  The promoted master carries its own alignment cache: its
+# fetches to itself are answered from memory, and restored metas owned
+# by ranks the death sweep later declares dead go back to re-search —
+# exactly the baseline's recovery asymmetry, now surviving rank 0 too.
 
 
-def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
+def _ft_master(
+    ctx: ProcContext,
+    cfg: ParallelConfig,
+    *,
+    setup: Any = None,
+    held_cache: dict[tuple[int, int], Alignment] | None = None,
+    held_metas: dict[int, list[list[AlignmentMeta]]] | None = None,
+) -> None:
+    """Serve the FT protocol as master.
+
+    Rank 0 enters with defaults; a *promoted* worker passes the setup
+    blob from its hello (None if it never completed hello), its local
+    alignment cache and the per-fragment metas it produced itself — its
+    own fragments are then served from memory instead of re-searched.
+    """
     comm, cost, ft = ctx.comm, cfg.cost, cfg.ft
     sim = ctx.engine
     report = ctx.fault_report
+    me = ctx.rank
+    promoted = me != 0
     nfrag = cfg.fragments_for(ctx.size - 1)
-    ctx.compute(cost.init_seconds())
+    ckpt = CheckpointStore(
+        ctx, cfg.checkpoint_dir,
+        interval=cfg.checkpoint_interval, io_attempts=ft.io_attempts,
+    )
+    if promoted:
+        report.record(sim.now, "recover:promote-master", me)
+        # Announce before doing anything slow (cold setup, checkpoint
+        # restore): the announcement resets every survivor's silence
+        # clock, heading off a second spurious succession.
+        for w in range(ctx.size):
+            if w != me:
+                comm.isend(me, dest=w, tag=TAG_FT_PING)
 
     def rread(path: str, charge: int) -> bytes:
         return retry_io(
@@ -342,27 +386,35 @@ def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
         )
 
     # ---- setup: same partitioning as `_master`, retried reads ----------
-    qdata = rread(
-        cfg.query_path, cost.wire_bytes(ctx.fs.size(cfg.query_path))
-    )
-    queries = read_queries_bytes(qdata)
-    index = parse_index(
-        rread(
-            f"{cfg.db_name}.xin",
-            cost.db_wire_bytes(ctx.fs.size(f"{cfg.db_name}.xin")),
+    if setup is None:
+        ctx.compute(cost.init_seconds())
+        qdata = rread(
+            cfg.query_path, cost.wire_bytes(ctx.fs.size(cfg.query_path))
         )
-    )
-    info = GlobalDbInfo(index.title, index.nseqs, index.total_letters)
-    ranges = index.partition_ranges(nfrag)
-    setup_blob = (queries, ranges, info)
+        queries = read_queries_bytes(qdata)
+        index = parse_index(
+            rread(
+                f"{cfg.db_name}.xin",
+                cost.db_wire_bytes(ctx.fs.size(f"{cfg.db_name}.xin")),
+            )
+        )
+        info = GlobalDbInfo(index.title, index.nseqs, index.total_letters)
+        ranges = index.partition_ranges(nfrag)
+        setup = (queries, ranges, info)
+    else:
+        queries, ranges, info = setup
+    setup_blob = setup
     engine = BlastSearch(cfg.search)
     writer = writer_for(engine, info)
     out = cfg.output_path
+    my_cache = held_cache if held_cache is not None else {}
 
     # ---- scheduler state ------------------------------------------------
-    alive: set[int] = set(range(1, ctx.size))
+    # A promoted master starts every other rank as presumed-alive with a
+    # fresh liveness window; the death sweep then re-detects the dead.
+    alive: set[int] = {r for r in range(1, ctx.size) if r != me}
     dead: set[int] = set()
-    last_seen: dict[int, float] = {w: 0.0 for w in alive}
+    last_seen: dict[int, float] = {w: sim.now for w in alive}
     assigned: dict[int, int] = {}        # worker -> fid being (re)searched
     assigner = GreedyAssigner(nfrag)     # first-search queue
     research: list[int] = []             # fids whose owner died; search again
@@ -373,7 +425,50 @@ def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
     state = "search"
     fetch_seq = 0
 
+    # ---- restore (promoted master only) ---------------------------------
+    if promoted:
+        snap = ckpt.load_latest()
+        if snap is not None:
+            for fid, (ow, metas) in snap["frag_metas"].items():
+                # Entries owned by us come from held_metas below (the
+                # cache is authoritative); dead owners' entries are
+                # dropped by the death sweep exactly as in-band deaths.
+                if ow != me:
+                    frag_metas[fid] = (ow, metas)
+                    assigner.mark_completed(fid)
+        for fid, metas in (held_metas or {}).items():
+            if fid not in frag_metas:
+                frag_metas[fid] = (me, metas)
+                assigner.mark_completed(fid)
+
     # ---- helpers --------------------------------------------------------
+    last_ping = sim.now - ft.master_tick
+
+    def ping_workers(force: bool = False) -> None:
+        """Heartbeat (and, when promoted, new-master announcement).
+
+        Called throughout the serialized output pass too: that pass can
+        outlast ``failover_silence``, and a silent master mid-output
+        must not trigger a spurious succession.  Pings go to *every*
+        other rank, not just presumed-alive ones: an isend to a dead
+        rank is a buffered no-op, and a falsely-suspected ex-master
+        that is still running must hear its successor to abdicate."""
+        nonlocal last_ping
+        if not force and sim.now - last_ping < ft.master_tick:
+            return
+        last_ping = sim.now
+        for w in range(ctx.size):
+            if w != me:
+                comm.isend(me, dest=w, tag=TAG_FT_PING)
+
+    def ckpt_state() -> dict:
+        return {
+            "driver": "mpiblast",
+            "frag_metas": {
+                f: frag_metas[f] for f in sorted(frag_metas)
+            },
+        }
+
     def queue_research(fid: int) -> None:
         if fid not in research and fid not in assigned.values():
             insort(research, fid)
@@ -415,15 +510,29 @@ def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
     def fetch(owner: int, qi: int, local_id: int) -> Alignment | None:
         """One serialized fetch, retried; None means the owner is gone."""
         nonlocal fetch_seq
+        if owner == me:
+            # Promoted master serving its own fragments: the alignment
+            # is in the cache it carried over from its worker life.
+            return my_cache[(qi, local_id)]
         for _attempt in range(3):
             fetch_seq += 1
             comm.isend((fetch_seq, qi, local_id), dest=owner, tag=TAG_FETCH)
+            # Wait in master_tick slices, pinging between them: a fetch
+            # to a dead owner stalls for write_timeout per attempt, and
+            # that silence must not look like master death to the
+            # surviving workers.
+            deadline = sim.now + ft.write_timeout
             while True:
+                ping_workers()
+                remaining = deadline - sim.now
+                if remaining <= 0:
+                    break
                 reply = comm.recv_with_timeout(
-                    source=owner, tag=TAG_FETCHRESP, timeout=ft.write_timeout
+                    source=owner, tag=TAG_FETCHRESP,
+                    timeout=min(ft.master_tick, remaining),
                 )
                 if reply is TIMEOUT:
-                    break
+                    continue
                 fseq, al = reply
                 if fseq == fetch_seq:
                     return al
@@ -449,6 +558,7 @@ def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
             ctx.fs.delete(out)
 
             def rwrite(offset: int, buf: bytes) -> None:
+                ping_workers()
                 retry_io(
                     sim,
                     lambda: ctx.fs.write(
@@ -476,6 +586,7 @@ def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
                 rwrite(offset, header)
                 offset += len(header)
                 for m in selected:
+                    ping_workers()
                     ctx.compute(cost.fetch_overhead_seconds())
                     al = fetch(m.owner_rank, qi, m.local_id)
                     if al is None:
@@ -545,10 +656,29 @@ def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
         raise RuntimeError(f"unknown FT request kind {kind!r}")
 
     # ---- serve loop -----------------------------------------------------
+    if promoted:
+        # Announce the new master immediately: surviving workers adopt
+        # it on the first ping instead of waiting out failover_silence.
+        ping_workers(force=True)
     done_since: float | None = None
     while True:
-        msg = comm.recv_with_timeout(tag=TAG_FT_REQ, timeout=ft.master_tick)
+        st = Status()
+        msg = comm.recv_with_timeout(
+            source=ANY_SOURCE, tag=ANY_TAG, timeout=ft.master_tick, status=st
+        )
         now = sim.now
+        if msg is not TIMEOUT and st.tag != TAG_FT_REQ:
+            if st.tag == TAG_FT_PING and msg > me:
+                # A higher rank announced itself as master: the fleet
+                # decided we were dead and moved on.  Step down without
+                # touching the output file again — the successor rewrites
+                # it from scratch.
+                report.record(sim.now, "recover:abdicate", me, msg)
+                return
+            # A stale ping from a lower ex-master (it will abdicate on
+            # our pings) or a stale TAG_FETCHRESP from a timed-out
+            # fetch attempt; drop it.
+            continue
         if msg is not TIMEOUT:
             # Refresh the sender's liveness *before* the death sweep so
             # a slow worker is not declared dead by its own message.
@@ -560,6 +690,9 @@ def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
         # polling, the receive above may never time out, and a dead
         # worker must still be detected promptly.
         check_deaths()
+        ping_workers()
+        if state == "search":
+            ckpt.maybe_save(ckpt_state)
         if state == "search" and (
             len(frag_metas) == nfrag or (msg is TIMEOUT and not alive)
         ):
@@ -665,58 +798,99 @@ def _ft_copy_and_search(
 def _ft_worker(ctx: ProcContext, cfg: ParallelConfig) -> str:
     comm, cost, ft = ctx.comm, cfg.cost, cfg.ft
     seq = 0
+    fo = FailoverTracker(ctx, ft)
+    setup: Any = None
     # Local result cache, exactly as in the baseline: alignment data
     # never leaves this worker until the master fetches it.
     cache: dict[tuple[int, int], Alignment] = {}
+    # fid -> metas per query for fragments *we* searched; carried into
+    # _ft_master on promotion so our fragments need no re-search.
+    my_metas: dict[int, list[list[AlignmentMeta]]] = {}
     next_local_id = 0
 
-    def serve_fetch(msg: tuple[int, int, int]) -> None:
+    def serve_fetch(msg: tuple[int, int, int], requester: int) -> None:
         fseq, qi, local_id = msg
         al = cache[(qi, local_id)]
         comm.isend(
             (fseq, al),
-            dest=0,
+            dest=requester,
             tag=TAG_FETCHRESP,
             nbytes=cost.wire_bytes(al.payload_nbytes()),
         )
 
     def rpc(kind: str, data: Any = None) -> Any:
-        """Idempotent RPC to the master; None means we are orphaned.
+        """Idempotent RPC to the *believed* master.
 
-        The master's serialized output pass interleaves TAG_FETCH
-        requests with our polling, so the receive loop answers fetches
-        in-line (they do not consume retry attempts).
+        Returns the reply body; :data:`PROMOTE` when master-succession
+        reached this rank; None when every attempt was exhausted
+        (orphaned).  The master's serialized output pass interleaves
+        TAG_FETCH requests with our polling, so the receive loop answers
+        fetches in-line (they do not consume retry attempts).
         """
         nonlocal seq
         seq += 1
-        payload = (ctx.rank, seq, kind, data)
         for _attempt in range(ft.req_max_attempts):
-            comm.isend(payload, dest=0, tag=TAG_FT_REQ)
+            if fo.promoted:
+                return PROMOTE
+            comm.isend(
+                (ctx.rank, seq, kind, data), dest=fo.master, tag=TAG_FT_REQ
+            )
             while True:
                 st = Status()
                 reply = comm.recv_with_timeout(
-                    source=0, tag=ANY_TAG, timeout=ft.req_timeout, status=st
+                    source=ANY_SOURCE, tag=ANY_TAG,
+                    timeout=ft.req_timeout, status=st,
                 )
                 if reply is TIMEOUT:
-                    break
+                    fo.tick()
+                    break  # resend (possibly to a new candidate)
                 if st.tag == TAG_FETCH:
-                    serve_fetch(reply)
+                    # Only a master fetches; a fetch from a higher rank
+                    # than our believed master is an implicit
+                    # announcement (its ping may still be queued).
+                    serve_fetch(reply, st.source)
+                    rehomed = fo.announce(st.source)
+                    if rehomed:
+                        break  # re-home this request to the new master
+                    continue
+                if st.tag == TAG_FT_PING:
+                    if fo.announce(reply):
+                        break  # re-home this request to the new master
+                    continue
+                if st.tag != TAG_FT_REPLY:
+                    # A TAG_FT_REQ from a peer whose succession already
+                    # reached us: drop it — its idempotent retry will
+                    # find us again once we have actually promoted.
                     continue
                 rseq, body = reply
+                if st.source == fo.master:
+                    fo.heard()
                 if rseq == seq:
                     return body
                 # A stale duplicate of an earlier reply; drain and retry.
         return None
 
+    def promote() -> str:
+        """Become the master: restore + serve (see _ft_master)."""
+        _ft_master(
+            ctx, cfg, setup=setup, held_cache=cache, held_metas=my_metas
+        )
+        return "promoted-master"
+
     body = rpc("hello")
+    if body is PROMOTE:
+        return promote()
     if body is None:
         return "orphaned"
-    queries, ranges, info = body[1]
+    setup = body[1]
+    queries, ranges, info = setup
     ctx.compute(cost.init_seconds())
     engine = BlastSearch(cfg.search)
 
     while True:
         body = rpc("work")
+        if body is PROMOTE:
+            return promote()
         if body is None:
             return "orphaned"
         kind, data = body
@@ -739,7 +913,11 @@ def _ft_worker(ctx: ProcContext, cfg: ParallelConfig) -> str:
                     )
                     next_local_id += 1
                 metas_per_query.append(metas)
-            if rpc("result", (frag, metas_per_query)) is None:
+            my_metas[frag] = metas_per_query
+            body = rpc("result", (frag, metas_per_query))
+            if body is PROMOTE:
+                return promote()
+            if body is None:
                 return "orphaned"
         else:  # pragma: no cover - protocol error
             raise RuntimeError(f"unknown FT reply kind {kind!r}")
@@ -784,6 +962,12 @@ def run_mpiblast(
     if nprocs < 2:
         raise ValueError("mpiBLAST needs a master and at least one worker")
     ft_mode = config.fault_tolerance or faults is not None
+    if ft_mode and config.query_batch > 0:
+        raise ValueError(
+            "query_batch is not supported by the fault-tolerant mpiBLAST "
+            "driver (the pull-RPC scheduler assigns whole fragments); "
+            "set query_batch=0 or run without faults/fault_tolerance"
+        )
     return run(
         nprocs,
         _program,

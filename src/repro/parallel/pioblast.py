@@ -61,6 +61,11 @@ from repro.parallel.common import (
     search_fragment_timed,
     writer_for,
 )
+from repro.parallel.checkpoint import (
+    PROMOTE,
+    CheckpointStore,
+    FailoverTracker,
+)
 from repro.parallel.config import ParallelConfig
 from repro.blast.formatdb import DatabaseVolume
 from repro.parallel.fragments import (
@@ -77,8 +82,9 @@ from repro.simmpi import (
     PlatformSpec,
     ProcContext,
     RunResult,
+    Status,
 )
-from repro.simmpi.comm import TIMEOUT
+from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, TIMEOUT
 from repro.simmpi.faults import FaultPlan, retry_io
 from repro.simmpi.launcher import run
 
@@ -91,6 +97,7 @@ TAG_WQ_ASSIGN = 34
 # Fault-tolerant pull-RPC protocol (see module docstring / FAULTS.md).
 TAG_FT_REQ = 40
 TAG_FT_REPLY = 41
+TAG_FT_PING = 42
 
 NO_MORE_WORK = -1
 
@@ -435,6 +442,17 @@ def _worker(ctx: ProcContext, cfg: ParallelConfig) -> None:
 # fragment holds byte-identical rendered blocks, because rendering is
 # deterministic), so the master maps fragment → current holder at output
 # time and can re-home writes when a holder dies.
+#
+# Master failover (see repro.parallel.checkpoint).  The master — rank 0
+# initially — heartbeats on TAG_FT_PING during long silent passes and
+# checkpoints its scheduler state crash-consistently.  Workers route
+# RPCs to the rank they currently believe is master; silence longer
+# than ``FTParams.failover_silence`` advances the candidate, and the
+# lowest surviving worker promotes itself: it restores the newest valid
+# checkpoint, seeds the fragments it searched itself (its cached blocks
+# are written by the master in-line during output rounds), re-runs the
+# death sweep, and serves the same protocol.  A promoted master's first
+# ping doubles as the new-master announcement.
 
 
 def _ft_read(ctx: ProcContext, cfg: ParallelConfig, path: str,
@@ -486,23 +504,57 @@ def _ft_setup(ctx: ProcContext, cfg: ParallelConfig):
     return queries, info, frags, index_bytes
 
 
-def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
+def _ft_master(
+    ctx: ProcContext,
+    cfg: ParallelConfig,
+    *,
+    setup: Any = None,
+    held_blocks: dict[int, list[bytes]] | None = None,
+    held_metas: dict[int, list[list[AlignmentMeta]]] | None = None,
+) -> None:
+    """Serve the FT protocol as master.
+
+    Rank 0 enters with defaults; a *promoted* worker passes the setup
+    blob it got at hello (None if it never completed hello), plus the
+    blocks and metas of the fragments it searched itself — the new
+    master writes those blocks in-line at output time, so they are
+    never re-searched.
+    """
     comm, cost, ft = ctx.comm, cfg.cost, cfg.ft
     sim = ctx.engine
     report = ctx.fault_report
+    me = ctx.rank
+    promoted = me != 0
     nfrag = cfg.fragments_for(ctx.size - 1)
-    ctx.compute(cost.init_seconds())
-
-    queries, info, frags, index_bytes = _ft_setup(ctx, cfg)
-    setup_blob = (queries, info, frags, index_bytes)
+    ckpt = CheckpointStore(
+        ctx, cfg.checkpoint_dir,
+        interval=cfg.checkpoint_interval, io_attempts=ft.io_attempts,
+    )
+    if promoted:
+        report.record(sim.now, "recover:promote-master", me)
+        # Announce before doing anything slow (cold setup, checkpoint
+        # restore): the announcement resets every survivor's silence
+        # clock, heading off a second spurious succession.
+        for w in range(ctx.size):
+            if w != me:
+                comm.isend(me, dest=w, tag=TAG_FT_PING)
+    if setup is None:
+        ctx.compute(cost.init_seconds())
+        setup = _ft_setup(ctx, cfg)
+    queries, info, frags, index_bytes = setup
+    setup_blob = setup
     engine = BlastSearch(cfg.search)
     writer = writer_for(engine, info)
     out = cfg.output_path
+    my_blocks = held_blocks if held_blocks is not None else {}
 
     # ---- scheduler state ------------------------------------------------
-    alive: set[int] = set(range(1, ctx.size))
+    # A promoted master starts every other rank as presumed-alive with a
+    # fresh liveness window: the standard death sweep below then re-runs
+    # against reality and re-detects the genuinely dead ones.
+    alive: set[int] = {r for r in range(1, ctx.size) if r != me}
     dead: set[int] = set()
-    last_seen: dict[int, float] = {w: 0.0 for w in alive}
+    last_seen: dict[int, float] = {w: sim.now for w in alive}
     assigned: dict[int, int] = {}        # worker -> fid being (re)searched
     assigner = GreedyAssigner(nfrag)     # first-search queue
     research: list[int] = []             # completed fids needing re-search
@@ -516,7 +568,57 @@ def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
     dispatched: dict[int, tuple[int, float]] = {}  # fid -> (worker, t)
     current_sels: dict[int, list[tuple[int, int]]] = {}
 
+    # ---- restore (promoted master only) ---------------------------------
+    if promoted:
+        snap = ckpt.load_latest()
+        if snap is not None:
+            for fid, metas in snap["frag_results"].items():
+                frag_results[fid] = metas
+                assigner.mark_completed(fid)
+            for fid, hs in snap["holders"].items():
+                holders[fid] |= {h for h in hs if h != me}
+        for fid, metas in (held_metas or {}).items():
+            if fid not in frag_results:
+                frag_results[fid] = metas
+                assigner.mark_completed(fid)
+
     # ---- helpers --------------------------------------------------------
+    last_ping = sim.now - ft.master_tick
+
+    def ping_workers(force: bool = False) -> None:
+        """Heartbeat (and, for a promoted master, announcement): keeps
+        workers from starting failover during long silent passes.
+        Pings go to *every* other rank, not just presumed-alive ones:
+        an isend to a dead rank is a buffered no-op, and a
+        falsely-suspected ex-master that is still running must hear
+        its successor to abdicate."""
+        nonlocal last_ping
+        if not force and sim.now - last_ping < ft.master_tick:
+            return
+        last_ping = sim.now
+        for w in range(ctx.size):
+            if w != me:
+                comm.isend(me, dest=w, tag=TAG_FT_PING)
+
+    def writable_now() -> set[int]:
+        """Fragments an output round can cover right now."""
+        if alive:
+            return set(frag_results)  # survivors can re-search the rest
+        return {f for f in frag_results if f in my_blocks}
+
+    def ckpt_state() -> dict:
+        return {
+            "driver": "pioblast",
+            "frag_results": {
+                f: frag_results[f] for f in sorted(frag_results)
+            },
+            "holders": {
+                f: tuple(sorted(hs))
+                for f, hs in sorted(holders.items())
+                if hs
+            },
+        }
+
     def compute_layout(writable: set[int]):
         """Offsets for master pieces + worker blocks over ``writable``."""
         per_query: list[list[AlignmentMeta]] = [[] for _ in queries]
@@ -529,6 +631,7 @@ def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
         pieces.append((0, pre))
         off = len(pre)
         for qi, qrec in enumerate(queries):
+            ping_workers()
             ctx.compute(cost.merge_seconds(len(per_query[qi])))
             selected = merge_select(per_query[qi], cfg.search.max_alignments)
             header = header_bytes_for(writer, qrec, selected)
@@ -559,6 +662,7 @@ def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
         ctx.fs.delete(out)
         with ctx.phase("output"):
             for off, buf in pieces:
+                ping_workers()
                 retry_io(
                     sim,
                     lambda off=off, buf=buf: ctx.fs.write(
@@ -568,7 +672,29 @@ def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
                     report=report,
                     what="write:output",
                 )
-        pending = {f for f, sels in current_sels.items() if sels}
+            # A promoted master writes its own cached blocks in-line: no
+            # worker holds them (and re-searching them would waste work).
+            for fid in sorted(current_sels):
+                if fid not in my_blocks or not current_sels[fid]:
+                    continue
+                for lid, off in current_sels[fid]:
+                    ping_workers()
+                    blk = my_blocks[fid][lid]
+                    retry_io(
+                        sim,
+                        lambda off=off, blk=blk: ctx.fs.write(
+                            out, off, blk,
+                            charge_bytes=cost.wire_bytes(len(blk)),
+                        ),
+                        attempts=ft.io_attempts,
+                        report=report,
+                        what="write:output",
+                    )
+                report.record(sim.now, "recover:master-held-write", fid)
+        pending = {
+            f for f, sels in current_sels.items()
+            if sels and f not in my_blocks
+        }
         dispatched = {}
         ensure_progress()
 
@@ -702,10 +828,28 @@ def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
         raise RuntimeError(f"unknown FT request kind {kind!r}")
 
     # ---- serve loop -----------------------------------------------------
+    if promoted:
+        # Announce the new master immediately: surviving workers adopt
+        # it on the first ping instead of waiting out failover_silence.
+        ping_workers(force=True)
     done_since: float | None = None
     while True:
-        msg = comm.recv_with_timeout(tag=TAG_FT_REQ, timeout=ft.master_tick)
+        st = Status()
+        msg = comm.recv_with_timeout(
+            source=ANY_SOURCE, tag=ANY_TAG, timeout=ft.master_tick, status=st
+        )
         now = sim.now
+        if msg is not TIMEOUT and st.tag != TAG_FT_REQ:
+            if st.tag == TAG_FT_PING and msg > me:
+                # A higher rank announced itself as master: the fleet
+                # decided we were dead and moved on.  Step down without
+                # touching the output file again — the successor rewrites
+                # it from scratch.
+                report.record(sim.now, "recover:abdicate", me, msg)
+                return
+            # Stale ping from a lower ex-master (it will abdicate on
+            # our pings); drop it.
+            continue
         if msg is not TIMEOUT:
             # Refresh the sender's liveness *before* the death sweep so
             # a slow worker is not declared dead by its own message.
@@ -718,17 +862,18 @@ def _ft_master(ctx: ProcContext, cfg: ParallelConfig) -> None:
         # polling, the receive above may never time out, and a dead
         # worker must still be detected promptly.
         check_deaths()
+        ping_workers()
+        ckpt.maybe_save(ckpt_state)
         if msg is TIMEOUT:
             if state == "search" and not alive:
-                # Degraded: nobody left to search the missing fragments.
+                # Degraded: nobody left to search the missing fragments
+                # (a promoted master can still write its own blocks).
                 state = "output"
-                start_output_round(
-                    set(frag_results) if alive else set()
-                )
+                start_output_round(writable_now())
             elif state == "output" and not alive and pending:
                 # Everyone died mid-output: shrink to what the master
-                # can write alone (headers/footers over nothing).
-                start_output_round(set())
+                # can write alone.
+                start_output_round(writable_now())
             if state == "output" and not pending and not research:
                 if done_since is None:
                     done_since = now
@@ -816,36 +961,75 @@ def _ft_worker(ctx: ProcContext, cfg: ParallelConfig) -> str:
     comm, cost, ft = ctx.comm, cfg.cost, cfg.ft
     report = ctx.fault_report
     seq = 0
+    fo = FailoverTracker(ctx, ft)
+    setup: Any = None
+    blocks: dict[int, list[bytes]] = {}
+    my_metas: dict[int, list[list[AlignmentMeta]]] = {}
 
     def rpc(kind: str, data: Any = None) -> Any:
-        """Idempotent RPC to the master; None means we are orphaned."""
+        """Idempotent RPC to the *believed* master.
+
+        Returns the reply body; :data:`PROMOTE` when master-succession
+        reached this rank (the caller must become the master); None when
+        every attempt was exhausted (orphaned).
+        """
         nonlocal seq
         seq += 1
-        payload = (ctx.rank, seq, kind, data)
         for _attempt in range(ft.req_max_attempts):
-            comm.isend(payload, dest=0, tag=TAG_FT_REQ)
-            reply = comm.recv_with_timeout(
-                source=0, tag=TAG_FT_REPLY, timeout=ft.req_timeout
+            if fo.promoted:
+                return PROMOTE
+            comm.isend(
+                (ctx.rank, seq, kind, data), dest=fo.master, tag=TAG_FT_REQ
             )
-            if reply is not TIMEOUT:
+            while True:
+                st = Status()
+                reply = comm.recv_with_timeout(
+                    source=ANY_SOURCE, tag=ANY_TAG,
+                    timeout=ft.req_timeout, status=st,
+                )
+                if reply is TIMEOUT:
+                    fo.tick()
+                    break  # resend (possibly to a new candidate)
+                if st.tag == TAG_FT_PING:
+                    if fo.announce(reply):
+                        break  # re-home this request to the new master
+                    continue
+                if st.tag != TAG_FT_REPLY:
+                    # A TAG_FT_REQ from a peer whose succession already
+                    # reached us: drop it — its idempotent retry will
+                    # find us again once we have actually promoted.
+                    continue
                 rseq, body = reply
+                if st.source == fo.master:
+                    fo.heard()
                 if rseq == seq:
                     return body
                 # A stale duplicate of an earlier reply; drain and retry.
         return None
 
+    def promote() -> str:
+        """Become the master: restore + serve (see _ft_master)."""
+        _ft_master(
+            ctx, cfg, setup=setup, held_blocks=blocks, held_metas=my_metas
+        )
+        return "promoted-master"
+
     body = rpc("hello")
+    if body is PROMOTE:
+        return promote()
     if body is None:
         return "orphaned"
-    queries, info, frags, index_bytes = body[1]
+    setup = body[1]
+    queries, info, frags, index_bytes = setup
     ctx.compute(cost.init_seconds())
     indexes = {base: parse_index(data) for base, data in index_bytes.items()}
     engine = BlastSearch(cfg.search)
     writer = writer_for(engine, info)
-    blocks: dict[int, list[bytes]] = {}
 
     while True:
         body = rpc("work")
+        if body is PROMOTE:
+            return promote()
         if body is None:
             return "orphaned"
         kind, data = body
@@ -859,7 +1043,11 @@ def _ft_worker(ctx: ProcContext, cfg: ParallelConfig) -> str:
                 ctx, cfg, engine, writer, queries, info, indexes,
                 frags[fid], fid, blocks,
             )
-            if rpc("result", (fid, metas)) is None:
+            my_metas[fid] = metas
+            body = rpc("result", (fid, metas))
+            if body is PROMOTE:
+                return promote()
+            if body is None:
                 return "orphaned"
         elif kind == "select":
             round_no, sels = data
@@ -873,7 +1061,10 @@ def _ft_worker(ctx: ProcContext, cfg: ParallelConfig) -> str:
                         attempts=ft.io_attempts, report=report,
                     )
             fids = tuple(sorted({fid for fid, _lid, _off in sels}))
-            if rpc("wrote", (round_no, fids)) is None:
+            body = rpc("wrote", (round_no, fids))
+            if body is PROMOTE:
+                return promote()
+            if body is None:
                 return "orphaned"
         else:  # pragma: no cover - protocol error
             raise RuntimeError(f"unknown FT reply kind {kind!r}")
@@ -918,6 +1109,12 @@ def run_pioblast(
     if nprocs < 2:
         raise ValueError("pioBLAST needs a master and at least one worker")
     ft_mode = config.fault_tolerance or faults is not None
+    if ft_mode and config.query_batch > 0:
+        raise ValueError(
+            "query_batch is not supported by the fault-tolerant pioBLAST "
+            "driver (the pull-RPC scheduler assigns whole fragments); "
+            "set query_batch=0 or run without faults/fault_tolerance"
+        )
     return run(
         nprocs,
         _program,

@@ -30,6 +30,7 @@ from repro.simmpi.resource import SharedBandwidth
 from repro.simmpi.network import NetworkModel
 from repro.simmpi.comm import Communicator, Status, TIMEOUT
 from repro.simmpi.faults import (
+    BitFlipFault,
     CrashFault,
     DiskSlowdownFault,
     FaultPlan,
@@ -38,11 +39,13 @@ from repro.simmpi.faults import (
     MessageDropFault,
     NetworkSlowdownFault,
     StragglerFault,
+    TornWriteFault,
     TransientIOError,
     TransientIOFault,
     retry_io,
 )
 from repro.simmpi.filesystem import (
+    CorruptFileError,
     FileStore,
     FilesystemModel,
     ParallelFS,
@@ -65,6 +68,7 @@ __all__ = [
     "ProcessFailure",
     "RankKilled",
     "TIMEOUT",
+    "BitFlipFault",
     "CrashFault",
     "DiskSlowdownFault",
     "FaultPlan",
@@ -73,6 +77,7 @@ __all__ = [
     "MessageDropFault",
     "NetworkSlowdownFault",
     "StragglerFault",
+    "TornWriteFault",
     "TransientIOError",
     "TransientIOFault",
     "retry_io",
@@ -80,6 +85,7 @@ __all__ = [
     "NetworkModel",
     "Communicator",
     "Status",
+    "CorruptFileError",
     "FileStore",
     "FilesystemModel",
     "ParallelFS",

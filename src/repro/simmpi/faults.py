@@ -7,7 +7,8 @@ first-class, *replayable* simulation input:
 - a :class:`FaultPlan` is an immutable, seedable description of every
   fault to inject — rank crashes at virtual times, transient disk
   slowdowns and I/O errors, network congestion windows, message drops
-  and delays, and CPU stragglers;
+  and delays, CPU stragglers, and silent data corruption (torn writes
+  and bit flips) against the checksummed-file path;
 - activating a plan against a cluster wires small hooks into the engine
   (kills), the communicator (drops/delays), the filesystem models
   (transient errors), the bandwidth pipes (slow-disk windows) and the
@@ -128,6 +129,29 @@ class StragglerFault:
     duration: float = math.inf
 
 
+@dataclass(frozen=True)
+class TornWriteFault:
+    """Silently truncate the next ``count`` filesystem writes matching
+    ``path_prefix`` after ``start``: only the first ``frac`` of the
+    payload lands (the classic torn write a crash-consistent format
+    must detect by checksum)."""
+
+    path_prefix: str = ""
+    start: float = 0.0
+    count: int = 1
+    frac: float = 0.5
+
+
+@dataclass(frozen=True)
+class BitFlipFault:
+    """Silently flip one bit in the middle of the next ``count``
+    filesystem writes matching ``path_prefix`` after ``start``."""
+
+    path_prefix: str = ""
+    start: float = 0.0
+    count: int = 1
+
+
 FaultEventSpec = (
     CrashFault
     | DiskSlowdownFault
@@ -136,6 +160,8 @@ FaultEventSpec = (
     | MessageDropFault
     | MessageDelayFault
     | StragglerFault
+    | TornWriteFault
+    | BitFlipFault
 )
 
 
@@ -207,6 +233,7 @@ class FaultReport:
             ("inject:", "injected"),
             ("detect:", "detected"),
             ("recover:", "recovered"),
+            ("ckpt:", "checkpoint"),
         ):
             n = self.count(fam)
             if n:
@@ -251,6 +278,11 @@ class FaultPlan:
                 raise ValueError(f"drop fault must drop >= 1: {ev}")
             if isinstance(ev, StragglerFault) and ev.factor <= 0:
                 raise ValueError(f"bad straggler factor: {ev}")
+            if isinstance(ev, (TornWriteFault, BitFlipFault)):
+                if ev.count < 1:
+                    raise ValueError(f"corruption fault needs count >= 1: {ev}")
+            if isinstance(ev, TornWriteFault) and not 0 <= ev.frac < 1:
+                raise ValueError(f"torn-write frac must be in [0, 1): {ev}")
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -268,8 +300,9 @@ class FaultPlan:
     ) -> "FaultPlan":
         """A deterministic pseudo-random plan for chaos testing.
 
-        Never crashes rank 0 (the masters are the drivers' single
-        coordinator — surviving master loss is future work) and never
+        Never crashes rank 0 (master death takes a full
+        failover-and-restore cycle — the dedicated checkpoint chaos
+        suite exercises it with explicit ``kill=0`` plans) and never
         crashes *all* workers, so recovery is always possible.  Message
         drops are only generated against ``droppable_tags`` — the
         retriable control-plane tags a fault-tolerant protocol owns.
@@ -340,11 +373,13 @@ class FaultPlan:
             netslow=FxD@T              network F x slower for D s from T
             straggler=RxF@T            rank R computes at F x speed from T
             ioerr=PREFIX@TnC           C transient I/O errors on PREFIX*
+            torn=PREFIX@TnC            truncate C writes on PREFIX*
+            bitflip=PREFIX@TnC         flip a bit in C writes on PREFIX*
             drop=S>D:TAGnC             drop C messages S->D with TAG
                                        (S, D, TAG may be ``*``)
         """
         events: list[FaultEventSpec] = []
-        seed = 0
+        seed: int | None = None
 
         def _rank(tok: str) -> int:
             return ANY if tok == "*" else int(tok)
@@ -359,6 +394,11 @@ class FaultPlan:
                 raise ValueError(f"bad fault token {tok!r}") from None
             key = key.strip()
             if key == "seed":
+                if seed is not None:
+                    raise ValueError(
+                        f"duplicate seed= token (already {seed}, "
+                        f"got {val!r})"
+                    )
                 seed = int(val)
             elif key == "kill":
                 r, t = val.split("@")
@@ -377,12 +417,15 @@ class FaultPlan:
                 events.append(
                     StragglerFault(int(r), float(f), start=float(t))
                 )
-            elif key == "ioerr":
+            elif key in ("ioerr", "torn", "bitflip"):
                 prefix, tail = val.split("@")
                 t, n = tail.split("n") if "n" in tail else (tail, "1")
-                events.append(
-                    TransientIOFault(prefix, start=float(t), count=int(n))
-                )
+                c = {
+                    "ioerr": TransientIOFault,
+                    "torn": TornWriteFault,
+                    "bitflip": BitFlipFault,
+                }[key]
+                events.append(c(prefix, start=float(t), count=int(n)))
             elif key == "drop":
                 src, rest = val.split(">")
                 dst, rest = rest.split(":")
@@ -394,8 +437,14 @@ class FaultPlan:
                     )
                 )
             else:
-                raise ValueError(f"unknown fault kind {key!r}")
-        return cls(events=tuple(events), seed=seed)
+                valid = (
+                    "seed, kill, slowdisk, netslow, straggler, ioerr, "
+                    "torn, bitflip, drop"
+                )
+                raise ValueError(
+                    f"unknown fault kind {key!r} (valid kinds: {valid})"
+                )
+        return cls(events=tuple(events), seed=seed if seed is not None else 0)
 
     # -- introspection --------------------------------------------------
     def describe(self) -> list[str]:
@@ -430,6 +479,14 @@ class _IOErrState:
         self.remaining = spec.count
 
 
+class _CorruptState:
+    __slots__ = ("spec", "remaining")
+
+    def __init__(self, spec: "TornWriteFault | BitFlipFault"):
+        self.spec = spec
+        self.remaining = spec.count
+
+
 class ActiveFaults:
     """A plan bound to one cluster: schedules events, answers hooks.
 
@@ -447,6 +504,7 @@ class ActiveFaults:
         self._drops: list[_DropState] = []
         self._delays: list[MessageDelayFault] = []
         self._ioerrs: list[_IOErrState] = []
+        self._corruptions: list[_CorruptState] = []
         self._net_windows: list[NetworkSlowdownFault] = []
         self._stragglers: list[StragglerFault] = []
 
@@ -479,6 +537,8 @@ class ActiveFaults:
                 )
             elif isinstance(ev, TransientIOFault):
                 self._ioerrs.append(_IOErrState(ev))
+            elif isinstance(ev, (TornWriteFault, BitFlipFault)):
+                self._corruptions.append(_CorruptState(ev))
             elif isinstance(ev, MessageDropFault):
                 self._drops.append(_DropState(ev))
             elif isinstance(ev, MessageDelayFault):
@@ -574,6 +634,33 @@ class ActiveFaults:
             st.remaining -= 1
             self.report.record(now, "inject:ioerr", fs_name, op, path)
             raise TransientIOError(op, path)
+
+    def on_write_payload(
+        self, fs_name: str, path: str, offset: int, data: bytes, now: float
+    ) -> bytes:
+        """Returns the bytes that actually land for one filesystem write
+        (torn-write / bit-flip corruption; usually ``data`` unchanged)."""
+        for st in self._corruptions:
+            s = st.spec
+            if st.remaining <= 0 or now < s.start:
+                continue
+            if not path.startswith(s.path_prefix):
+                continue
+            st.remaining -= 1
+            if isinstance(s, TornWriteFault):
+                cut = int(len(data) * s.frac)
+                self.report.record(
+                    now, "inject:torn-write", fs_name, path, len(data), cut
+                )
+                return data[:cut]
+            flipped = bytearray(data)
+            if flipped:
+                flipped[len(flipped) // 2] ^= 0x40
+            self.report.record(
+                now, "inject:bit-flip", fs_name, path, len(data) // 2
+            )
+            return bytes(flipped)
+        return data
 
     def cpu_factor(self, rank: int, now: float) -> float:
         f = 1.0

@@ -17,15 +17,74 @@ processor-sharing bandwidth pipe plus a fixed per-operation overhead
   (paper Fig. 4) and cripples mpiBLAST's fragment copies.
 - :class:`LocalDisk` — a private per-node disk (mpiBLAST's fragment copy
   target when available).
+
+Crash-consistent writes
+-----------------------
+
+:meth:`FilesystemModel.write_atomic` is the durable-state primitive the
+checkpoint subsystem (:mod:`repro.parallel.checkpoint`) builds on: the
+payload is framed with a magic, its length and a CRC-32, written to
+``path + ".tmp"``, and *renamed* into place as a separate timed
+operation.  Because a killed rank unwinds at its next blocking point, an
+injected crash can land between the temp write and the rename — the temp
+file is simply abandoned and the previous version of ``path`` survives
+intact.  :meth:`FilesystemModel.read_atomic` verifies the frame and
+raises :class:`CorruptFileError` when the stored bytes were damaged
+(torn-write / bit-flip faults, see :mod:`repro.simmpi.faults`), which is
+what lets readers fall back to an older replica.
 """
 
 from __future__ import annotations
 
+import struct
+import zlib
 from typing import Any
 
 from repro.obs.events import EV_IO
 from repro.simmpi.engine import Engine, SimError
 from repro.simmpi.resource import SharedBandwidth
+
+ATOMIC_MAGIC = b"SIMFS1\n"
+_ATOMIC_HEADER = struct.Struct(">QI")  # payload length, CRC-32
+
+
+class CorruptFileError(SimError):
+    """A framed file failed its checksum / structure validation."""
+
+    def __init__(self, path: str, why: str):
+        super().__init__(f"corrupt framed file {path!r}: {why}")
+        self.path = path
+        self.why = why
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Magic + length + CRC-32 header followed by the payload."""
+    return b"".join((
+        ATOMIC_MAGIC,
+        _ATOMIC_HEADER.pack(len(payload), zlib.crc32(payload)),
+        payload,
+    ))
+
+
+def unframe_payload(path: str, data: bytes) -> bytes:
+    """Validate a framed file; returns the payload or raises
+    :class:`CorruptFileError`."""
+    hdr_len = len(ATOMIC_MAGIC) + _ATOMIC_HEADER.size
+    if len(data) < hdr_len:
+        raise CorruptFileError(path, "truncated header")
+    if data[: len(ATOMIC_MAGIC)] != ATOMIC_MAGIC:
+        raise CorruptFileError(path, "bad magic")
+    length, crc = _ATOMIC_HEADER.unpack(
+        data[len(ATOMIC_MAGIC) : hdr_len]
+    )
+    payload = data[hdr_len : hdr_len + length]
+    if len(payload) != length:
+        raise CorruptFileError(
+            path, f"truncated payload ({len(payload)}/{length} bytes)"
+        )
+    if zlib.crc32(payload) != crc:
+        raise CorruptFileError(path, "checksum mismatch")
+    return payload
 
 
 class FileStore:
@@ -48,6 +107,12 @@ class FileStore:
 
     def delete(self, path: str) -> None:
         self._files.pop(path, None)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically move ``src`` over ``dst`` (POSIX rename semantics:
+        an existing destination is replaced)."""
+        self._files[dst] = self._file(src)
+        del self._files[src]
 
     def _file(self, path: str) -> bytearray:
         try:
@@ -165,6 +230,12 @@ class FilesystemModel:
         charged = len(data) if charge_bytes is None else charge_bytes
         self.engine.sleep(self.op_overhead)
         self.pipe.transfer(charged)
+        if self.faults is not None:
+            # Corruption faults (torn writes, bit flips) replace the
+            # bytes that actually land; timing charges the intended data.
+            data = self.faults.on_write_payload(
+                self.name, path, offset, data, self.engine.now
+            )
         self.store.write(path, offset, data)
         if self.tracer is not None or self.metrics is not None:
             self._record_io("write", path, offset, len(data), charged, t0)
@@ -181,6 +252,45 @@ class FilesystemModel:
         if self.tracer is not None or self.metrics is not None:
             self._record_io("append", path, off, len(data), charged, t0)
         return off
+
+    def rename(self, src: str, dst: str) -> None:
+        """Timed metadata rename (one op_overhead, no data movement).
+
+        Modelled as atomic: a rank killed during the overhead sleep
+        unwinds *before* the store mutation, so the destination is
+        either the old file or the complete new one — never a mix.
+        """
+        self._fault_check("rename", src)
+        t0 = self.engine.now
+        self.write_ops += 1
+        self.engine.sleep(self.op_overhead)
+        self.store.rename(src, dst)
+        if self.tracer is not None or self.metrics is not None:
+            self._record_io("rename", src, 0, 0, 0, t0)
+
+    # -- crash-consistent framed files ------------------------------------
+    def write_atomic(self, path: str, payload: bytes,
+                     *, charge_bytes: int | None = None) -> int:
+        """Durably replace ``path`` with a checksummed ``payload``.
+
+        Write-temp → checksum-frame → atomic rename.  A crash before the
+        rename leaves the previous version of ``path`` untouched; a
+        corruption fault that damages the temp write is caught later by
+        :meth:`read_atomic`'s CRC check.  Returns the framed size.
+        """
+        tmp = path + ".tmp"
+        self.store.delete(tmp)  # drop any leftovers of an aborted write
+        framed = frame_payload(payload)
+        self.write(tmp, 0, framed, charge_bytes=charge_bytes)
+        self.rename(tmp, path)
+        return len(framed)
+
+    def read_atomic(self, path: str,
+                    *, charge_bytes: int | None = None) -> bytes:
+        """Read and validate a framed file; raises
+        :class:`CorruptFileError` on any damage."""
+        data = self.read(path, charge_bytes=charge_bytes)
+        return unframe_payload(path, data)
 
     # -- untimed metadata (cheap enough to ignore) ------------------------
     def exists(self, path: str) -> bool:

@@ -206,6 +206,9 @@ class RunResult:
     fs_write_ops: int
     fault_report: FaultReport | None = None
     dead_ranks: tuple[int, ...] = ()
+    #: ranks that promoted themselves to master after a master crash
+    #: (``recover:promote-master`` entries, in promotion order)
+    promotions: tuple[int, ...] = ()
     #: metrics registry snapshot (``repro.obs.MetricsRegistry.snapshot``)
     metrics: dict[str, Any] | None = None
     #: the raw traced event list (only when a tracer was passed to ``run``)
@@ -274,6 +277,11 @@ def run(
         fs_write_ops=cluster.shared_fs.write_ops,
         fault_report=cluster.fault_report,
         dead_ranks=tuple(sorted(cluster.engine.dead_ranks)),
+        promotions=tuple(
+            e.detail[0]
+            for e in cluster.fault_report.events
+            if e.kind == "recover:promote-master"
+        ),
         metrics=cluster.metrics.snapshot(),
         events=tracer.events if tracer is not None else None,
     )

@@ -27,12 +27,14 @@ from repro.simmpi.comm import TIMEOUT
 from repro.simmpi.engine import Engine, SimError
 from repro.simmpi.faults import (
     ANY,
+    BitFlipFault,
     CrashFault,
     DiskSlowdownFault,
     FaultPlan,
     MessageDropFault,
     NetworkSlowdownFault,
     StragglerFault,
+    TornWriteFault,
     TransientIOError,
     TransientIOFault,
     retry_io,
@@ -65,11 +67,34 @@ class TestFaultPlan:
         ev = plan.events[0]
         assert (ev.source, ev.dest, ev.tag) == (ANY, ANY, ANY)
 
+    def test_parse_corruption_kinds(self):
+        plan = FaultPlan.parse("torn=_ckpt/@0.1n2, bitflip=out@0.0")
+        torn, flip = plan.events
+        assert torn == TornWriteFault(
+            path_prefix="_ckpt/", start=0.1, count=2
+        )
+        assert flip == BitFlipFault(path_prefix="out", start=0.0, count=1)
+
     def test_parse_rejects_garbage(self):
         with pytest.raises(ValueError):
             FaultPlan.parse("frobnicate=1")
         with pytest.raises(ValueError):
             FaultPlan.parse("kill")
+
+    def test_parse_rejects_duplicate_seed(self):
+        with pytest.raises(ValueError, match="duplicate seed"):
+            FaultPlan.parse("seed=1,kill=2@0.5,seed=1")
+        # a single seed= is of course fine
+        assert FaultPlan.parse("seed=9").seed == 9
+
+    def test_unknown_kind_error_lists_valid_kinds(self):
+        with pytest.raises(ValueError) as ei:
+            FaultPlan.parse("kll=2@0.5")
+        msg = str(ei.value)
+        assert "'kll'" in msg
+        for kind in ("seed", "kill", "slowdisk", "netslow", "straggler",
+                     "ioerr", "torn", "bitflip", "drop"):
+            assert kind in msg
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -370,6 +395,31 @@ class TestFTPioblast:
         out, res = _pio_ft(store, cfg, 5, plan)
         assert out == serial_reference
         assert res.dead_ranks == ()
+
+    def test_revival_after_final_relayout_absorbs_duplicates(
+        self, staged, serial_reference
+    ):
+        """FAULTS.md §6 regression: a straggler slow enough to be
+        declared dead whose result arrives *after* the final output
+        relayout is revived, but its late result is absorbed as a
+        duplicate — the report is not re-grown and the already-written
+        output stands.  The factor is tuned so rank 1's one slowed
+        search (~0.035 s of work) completes inside the master's linger
+        window, after the fragment was re-searched by a healthy peer."""
+        store, cfg = staged
+        plan = FaultPlan(
+            seed=6,
+            events=(StragglerFault(rank=1, factor=0.006, start=0.0),),
+        )
+        out, res = _pio_ft(store, cfg, 5, plan)
+        assert out == serial_reference
+        rep = res.fault_report
+        assert rep.count("detect:worker-dead") == 1
+        assert rep.count("recover:revive") == 1
+        assert rep.count("recover:dup-result") == 1
+        assert res.dead_ranks == ()       # it came back
+        assert res.promotions == ()       # nobody usurped the master
+        assert not rep.degraded
 
     def test_all_workers_dead_degrades_gracefully(self, staged):
         """With nobody left the master still terminates, writes what it
