@@ -6,13 +6,17 @@
 #                     seeds (slower; exercises FaultPlan.random + the
 #                     exhaustive kill-subset enumeration)
 #   make report     - assemble archived benchmark tables
-#   make bench-json - run the table1/fig3a sweep with tracing on and
-#                     write BENCH_pr4.json (slow; see OBSERVABILITY.md §6)
+#   make bench-json - run the table1/fig3a/np128 sweep plus the kernel
+#                     scenarios with tracing on and write BENCH_pr6.json
+#                     (slow; see OBSERVABILITY.md §6, PERFORMANCE.md)
+#   make perf-smoke - CI-sized wall-clock gate: quick bench under a hard
+#                     host-time budget, then diff against the committed
+#                     quick baseline (BENCH_pr6_quick.json)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos report bench-json
+.PHONY: test chaos report bench-json perf-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,4 +28,11 @@ report:
 	$(PYTHON) -m repro report
 
 bench-json:
-	$(PYTHON) -m repro.obs.bench --out BENCH_pr4.json
+	$(PYTHON) -m repro.obs.bench --out BENCH_pr6.json
+	$(PYTHON) -m repro.obs.bench --quick --out BENCH_pr6_quick.json
+
+perf-smoke:
+	$(PYTHON) -m repro.obs.bench --quick --host-budget 120 \
+		--out /tmp/perf_smoke.json
+	$(PYTHON) -m repro.obs.compare BENCH_pr6_quick.json \
+		/tmp/perf_smoke.json --host-threshold 3.0

@@ -26,7 +26,12 @@ from repro.blast.alphabet import (
     PROTEIN,
     Alphabet,
 )
-from repro.blast.extend import extend_gapped, ungapped_extend
+from repro.blast.extend import (
+    UngappedHit,
+    extend_gapped,
+    ungapped_extend,
+    ungapped_extend_batch,
+)
 from repro.blast.fasta import SeqRecord
 from repro.blast.hsp import HSP, Alignment, QueryResult, cull_contained
 from repro.blast.karlin import (
@@ -38,7 +43,9 @@ from repro.blast.matrices import dna_matrix, get_matrix
 from repro.blast.seeding import (
     SeedStats,
     WordIndex,
+    batch_triggers,
     one_hit_triggers,
+    rolling_codes,
     two_hit_triggers,
 )
 
@@ -62,6 +69,11 @@ class SearchParams:
     max_alignments: int = 100  # per query, applied after global ranking
     dna_match: int = 1
     dna_mismatch: int = -3
+    # Batched kernel: scan a whole fragment as one concatenated array
+    # and vectorize the ungapped stage over all trigger points at once.
+    # ``False`` keeps the original per-subject scalar path — the
+    # bit-identity reference the property suite compares against.
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if self.program not in ("blastp", "blastn"):
@@ -152,6 +164,23 @@ class ListDatabase:
         return len(self._codes[i])
 
 
+@dataclass
+class _FragmentScan:
+    """Preprocessed fragment for the batched kernel (see _fragment_scan)."""
+
+    concat: np.ndarray
+    starts: np.ndarray
+    lens: np.ndarray
+    subj_of: np.ndarray
+    slabs: list[tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        # rolling (positions, codes) per slab, filled on first use
+        self.codes_cache: list[tuple[np.ndarray, np.ndarray] | None] = [
+            None
+        ] * len(self.slabs)
+
+
 class BlastSearch:
     """A configured search engine, reusable across queries and fragments."""
 
@@ -186,6 +215,16 @@ class BlastSearch:
                 / self.ungapped.lam
             )
         )
+        # Sentinel-extended matrix for the batched kernel: fragment
+        # records are concatenated with a sentinel code between them
+        # whose score against anything is far below any X-drop, so a
+        # vectorized extension terminates at a record boundary exactly
+        # where the scalar path runs out of array.
+        size = self.matrix.shape[0]
+        self.sentinel_code = size
+        ext = np.full((size + 1, size + 1), -(1 << 30), dtype=np.int64)
+        ext[:size, :size] = self.matrix
+        self.matrix_ext = ext
         self._index_cache: dict[int, WordIndex] = {}
 
     # Process-wide memo of word indexes.  A WordIndex is immutable and a
@@ -258,12 +297,19 @@ class BlastSearch:
         restores exactly the serial result list.
         """
         out: list[list[Alignment]] = []
+        scan = self._fragment_scan(fragment) if self.params.batch else None
         for qi, qrec in enumerate(queries):
             qcodes = self.alphabet.encode(qrec.sequence)
-            als = self._search_one(
-                qi, qrec, qcodes, fragment, db_letters, db_num_seqs, base_oid,
-                stats, filter_db_letters, filter_db_num_seqs,
-            )
+            if scan is not None:
+                als = self._search_one_batched(
+                    qi, qcodes, fragment, scan, db_letters, db_num_seqs,
+                    base_oid, stats, filter_db_letters, filter_db_num_seqs,
+                )
+            else:
+                als = self._search_one(
+                    qi, qrec, qcodes, fragment, db_letters, db_num_seqs,
+                    base_oid, stats, filter_db_letters, filter_db_num_seqs,
+                )
             out.append(als)
         if stats is not None:
             stats.queries += len(queries)
@@ -300,6 +346,7 @@ class BlastSearch:
             filter_space = space
         # Raw score that meets the expect threshold: cheap pre-filter.
         min_raw = self.stats_params.raw_score_for_evalue(p.expect, filter_space)
+        min_keep = self._min_keep(min_raw)
 
         alignments: list[Alignment] = []
         nsub = fragment.num_sequences
@@ -317,11 +364,11 @@ class BlastSearch:
                 )
             else:
                 triggers = one_hit_triggers(spos, qpos)
-            if not triggers:
+            if len(triggers[0]) == 0:
                 continue
-            sstats.triggers += len(triggers)
+            sstats.triggers += len(triggers[0])
             hsps = self._extend_subject(
-                qcodes, scodes, triggers, si, stats
+                qcodes, scodes, triggers, si, stats, min_keep
             )
             if not hsps:
                 continue
@@ -352,13 +399,236 @@ class BlastSearch:
         return alignments
 
     # ------------------------------------------------------------------
+    # batched kernel
+    # ------------------------------------------------------------------
+    #: letters per scan slab — bounds the transient hit/trigger arrays
+    #: so huge fragments stream through in bounded memory.
+    SLAB_LETTERS = 1 << 21
+
+    def _fragment_scan(self, fragment: SequenceDatabase) -> "_FragmentScan":
+        """Concatenate a fragment's records around sentinel codes.
+
+        The returned scan carries the concatenation (one sentinel
+        before, between and after records), each record's start offset
+        and length inside it, a concat position → subject id lookup
+        (O(1) per hit, replacing a binary search over ``starts``), and
+        ``[lo, hi)`` subject ranges whose total letters stay under
+        :attr:`SLAB_LETTERS` — plus a per-slab cache of rolling word
+        codes, which are query-independent and so computed once no
+        matter how many queries scan the fragment.
+        """
+        nsub = fragment.num_sequences
+        lens = np.fromiter(
+            (fragment.get_length(i) for i in range(nsub)),
+            dtype=np.int64,
+            count=nsub,
+        )
+        total = int(lens.sum())
+        concat = np.full(total + nsub + 1, self.sentinel_code, dtype=np.uint8)
+        starts = np.empty(nsub, dtype=np.int64)
+        off = 1
+        for i in range(nsub):
+            n = int(lens[i])
+            concat[off : off + n] = fragment.get_codes(i)
+            starts[i] = off
+            off += n + 1
+        # subj_of[p] = subject whose record covers concat position p
+        # (sentinel slots get the preceding record's id; hits never land
+        # on a sentinel, so that never surfaces).
+        marks = np.zeros(len(concat), dtype=np.int32)
+        marks[starts[1:]] = 1
+        subj_of = np.cumsum(marks, dtype=np.int32)
+        slabs: list[tuple[int, int]] = []
+        lo = 0
+        acc = 0
+        for i in range(nsub):
+            if acc and acc + int(lens[i]) > self.SLAB_LETTERS:
+                slabs.append((lo, i))
+                lo, acc = i, 0
+            acc += int(lens[i])
+        if nsub:
+            slabs.append((lo, nsub))
+        return _FragmentScan(concat, starts, lens, subj_of, slabs)
+
+    def _search_one_batched(
+        self,
+        query_index: int,
+        qcodes: np.ndarray,
+        fragment: SequenceDatabase,
+        scan: "_FragmentScan",
+        db_letters: int,
+        db_num_seqs: int,
+        base_oid: int,
+        stats: SearchStats | None,
+        filter_db_letters: int | None = None,
+        filter_db_num_seqs: int | None = None,
+    ) -> list[Alignment]:
+        """Bulk-scan equivalent of :meth:`_search_one` (bit-identical).
+
+        One CSR lookup covers a whole slab of subjects; two-hit
+        detection is segment-aware (:func:`batch_triggers`); the
+        ungapped stage runs vectorized over every trigger point at once
+        (:func:`ungapped_extend_batch`), and only the rare survivors of
+        the gap trigger reach the scalar gapped DP.
+        """
+        p = self.params
+        concat, starts, lens = scan.concat, scan.starts, scan.lens
+        subj_of, slabs = scan.subj_of, scan.slabs
+        index = self._index_for(query_index, qcodes)
+        sstats = SeedStats()
+        space = effective_search_space(
+            self.stats_params, len(qcodes), db_letters, db_num_seqs
+        )
+        if filter_db_letters is not None:
+            filter_space = effective_search_space(
+                self.stats_params,
+                len(qcodes),
+                filter_db_letters,
+                filter_db_num_seqs or 1,
+            )
+        else:
+            filter_space = space
+        min_raw = self.stats_params.raw_score_for_evalue(p.expect, filter_space)
+        min_keep = self._min_keep(min_raw)
+
+        alignments: list[Alignment] = []
+        nsub = fragment.num_sequences
+        w = p.effective_word_size
+        two_hit = p.program == "blastp"
+        sstats.positions_scanned += int(lens.sum())
+        for slab_i, (lo, hi) in enumerate(slabs):
+            slab_off = int(starts[lo])
+            slab_end = int(starts[hi - 1] + lens[hi - 1]) + 1  # + sentinel
+            pre = scan.codes_cache[slab_i]
+            if pre is None:
+                pre = rolling_codes(
+                    concat[slab_off:slab_end], w, self.nstd
+                )
+                scan.codes_cache[slab_i] = pre
+            cpos, qhit = index.find_hits(
+                concat[slab_off:slab_end], precomputed=pre
+            )
+            sstats.word_hits += len(cpos)
+            if len(cpos) == 0:
+                continue
+            cpos = cpos + slab_off
+            subj = subj_of[cpos].astype(np.int64)
+            slocal = cpos - starts[subj]
+            t_subj, tq, ts = batch_triggers(
+                subj, slocal, qhit,
+                window=p.two_hit_window, word_size=w, two_hit=two_hit,
+            )
+            sstats.triggers += len(tq)
+            if len(tq) == 0:
+                continue
+            # Ungapped stage in rounds: only the first live trigger of
+            # each (subject, diagonal) run extends; every trigger the
+            # scalar path's covered-diagonal rule would skip is skipped
+            # here by one vectorized searchsorted over the run keys —
+            # batched work equals the scalar path's executed extensions.
+            spos_c = starts[t_subj] + ts
+            diag = tq - ts
+            n_t = len(tq)
+            newg = np.empty(n_t, dtype=bool)
+            newg[0] = True
+            newg[1:] = (t_subj[1:] != t_subj[:-1]) | (diag[1:] != diag[:-1])
+            gid = np.cumsum(newg) - 1
+            grp_start = np.flatnonzero(newg)
+            grp_end = np.append(grp_start[1:], n_t)
+            bigs = int(lens[lo:hi].max()) + 2
+            gkey = gid * bigs + ts
+            uqs = np.empty(n_t, np.int64)
+            uqe = np.empty(n_t, np.int64)
+            uss = np.empty(n_t, np.int64)
+            use = np.empty(n_t, np.int64)
+            usc = np.empty(n_t, np.int64)
+            executed = np.zeros(n_t, dtype=bool)
+            heads = grp_start
+            while heads.size:
+                r = ungapped_extend_batch(
+                    qcodes, concat, tq[heads], spos_c[heads], w,
+                    self.matrix_ext, p.x_drop_ungapped,
+                )
+                executed[heads] = True
+                uqs[heads], uqe[heads] = r[0], r[1]
+                uss[heads], use[heads] = r[2], r[3]
+                usc[heads] = r[4]
+                if stats is not None:
+                    stats.ungapped_extensions += heads.size
+                # Advance each group past triggers covered by this
+                # extension (subject pos <= send, the scalar skip rule).
+                send_local = r[3] - starts[t_subj[heads]]
+                targets = gid[heads] * bigs + send_local
+                nxt = np.searchsorted(gkey, targets, side="right")
+                ok = nxt < grp_end[gid[heads]]
+                heads = nxt[ok]
+            survivor = executed & (usc > 0) & (usc >= min_keep)
+            bounds = np.concatenate(
+                ([0], np.cumsum(np.bincount(t_subj - lo, minlength=hi - lo)))
+            )
+            for si in np.unique(t_subj[survivor]).tolist():
+                a = int(bounds[si - lo])
+                b = int(bounds[si - lo + 1])
+                sel = np.flatnonzero(survivor[a:b]) + a
+                if sel.size == 0:
+                    continue
+                off = int(starts[si])
+                scodes = concat[off : off + int(lens[si])]
+                hits = [
+                    UngappedHit(
+                        int(uqs[k]), int(uqe[k]),
+                        int(uss[k]) - off, int(use[k]) - off,
+                        int(usc[k]),
+                    )
+                    for k in sel.tolist()
+                ]
+                hsps = self._gapped_stage(qcodes, scodes, hits, si, stats)
+                hsps = cull_contained(hsps)
+                for h in hsps:
+                    if h.score < min_raw:
+                        continue
+                    al = self._render(
+                        query_index, qcodes, scodes, h,
+                        fragment.get_defline(si), base_oid + si, space,
+                    )
+                    if (
+                        self.stats_params.evalue(h.score, filter_space)
+                        <= p.expect
+                    ):
+                        alignments.append(al)
+        if stats is not None:
+            stats.subjects += nsub
+            stats.letters_scanned += sstats.positions_scanned
+            stats.word_hits += sstats.word_hits
+            stats.triggers += sstats.triggers
+            stats.alignments += len(alignments)
+        alignments.sort(key=Alignment.sort_key)
+        return alignments
+
+    # ------------------------------------------------------------------
+    def _min_keep(self, min_raw: int) -> int:
+        """Lowest ungapped score that can still influence the output.
+
+        An ungapped HSP below both the gap trigger (never gapped-extended)
+        and ``min_raw`` (never rendered) is inert: containment culling and
+        the leftover suppression check both rank by score first, so a
+        sub-threshold HSP can never displace one that reaches the report.
+        Dropping them right after extension is output-identical and skips
+        the per-HSP bookkeeping for the non-homologous bulk of a database.
+        """
+        if not self.params.gapped:
+            return min_raw
+        return min(self.gap_trigger_raw, min_raw)
+
+    # ------------------------------------------------------------------
     def _extend_subject(
         self,
         q: np.ndarray,
         s: np.ndarray,
-        triggers: list[tuple[int, int]],
+        triggers: tuple[np.ndarray, np.ndarray],
         subject_local_index: int,
         stats: SearchStats | None,
+        min_keep: int,
     ) -> list[HSP]:
         p = self.params
         w = p.effective_word_size
@@ -366,7 +636,8 @@ class BlastSearch:
         # regions on the same diagonal.
         covered: dict[int, int] = {}
         ungapped_hits = []
-        for qp, sp in triggers:
+        tq, ts = triggers
+        for qp, sp in zip(tq.tolist(), ts.tolist()):
             dg = qp - sp
             if covered.get(dg, -1) >= sp:
                 continue
@@ -374,11 +645,22 @@ class BlastSearch:
             covered[dg] = hit.send
             if stats is not None:
                 stats.ungapped_extensions += 1
-            if hit.score > 0:
+            if hit.score > 0 and hit.score >= min_keep:
                 ungapped_hits.append(hit)
         if not ungapped_hits:
             return []
+        return self._gapped_stage(q, s, ungapped_hits, subject_local_index, stats)
 
+    # ------------------------------------------------------------------
+    def _gapped_stage(
+        self,
+        q: np.ndarray,
+        s: np.ndarray,
+        ungapped_hits: list[UngappedHit],
+        subject_local_index: int,
+        stats: SearchStats | None,
+    ) -> list[HSP]:
+        p = self.params
         if not p.gapped:
             return [
                 HSP(

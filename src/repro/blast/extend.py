@@ -96,6 +96,137 @@ def ungapped_extend(
     return UngappedHit(best_qs, best_qe, best_ss, best_se, int(best2))
 
 
+def _advance_batch(
+    score_at,
+    start: np.ndarray,
+    cur: np.ndarray,
+    best: np.ndarray,
+    best_off: np.ndarray,
+    x_drop: int,
+    chunk: int,
+) -> None:
+    """Shared chunked driver for one extension direction (in place).
+
+    ``score_at(rows, offs)`` returns the substitution score of each
+    trigger in ``rows`` at step offset ``offs`` (0-based), with
+    out-of-range steps already mapped to a large negative barrier.
+    Updates ``cur`` (running score), ``best`` (best prefix score) and
+    ``best_off`` (steps to the best prefix; 0 = empty extension) exactly
+    as the scalar loop in :func:`ungapped_extend` would: the running
+    best is a cumulative max over score prefixes, a step terminates its
+    row once the running score drops ``x_drop`` below it, and
+    improvements must be *strict* (ties keep the shorter extent).
+    """
+    n = len(start)
+    done = np.zeros(n, dtype=np.int64)
+    active = np.arange(n)
+    rowsel = np.arange(n)
+    while active.size:
+        # Chunk size never affects the result (the break scan happens
+        # within each chunk and running state carries over exactly), so
+        # grow it geometrically: most extensions die in the first small
+        # chunk, and the few long survivors get wide chunks.
+        steps = np.arange(chunk, dtype=np.int64)
+        offs = done[active][:, None] + steps[None, :]
+        sc = score_at(active, offs)
+        csum = cur[active][:, None] + np.cumsum(sc, axis=1)
+        pb = np.maximum(
+            np.maximum.accumulate(csum, axis=1), best[active][:, None]
+        )
+        brk = csum <= pb - x_drop
+        has_brk = brk.any(axis=1)
+        stop = np.where(has_brk, brk.argmax(axis=1), chunk - 1)
+        # Strict improvements are exactly where the running best moves.
+        pb_prev = np.concatenate(
+            (best[active][:, None], pb[:, :-1]), axis=1
+        )
+        improve = (csum > pb_prev) & (steps[None, :] <= stop[:, None])
+        lastk = np.where(improve, steps[None, :], -1).max(axis=1)
+        has_imp = lastk >= 0
+        rs = rowsel[: active.size]
+        best[active] = pb[rs, stop]
+        best_off[active] = np.where(
+            has_imp, done[active] + lastk + 1, best_off[active]
+        )
+        cur[active] = csum[rs, stop]
+        done[active] += stop + 1
+        active = active[~has_brk]
+        chunk = min(chunk * 2, 128)
+
+
+def ungapped_extend_batch(
+    q: np.ndarray,
+    s: np.ndarray,
+    qpos: np.ndarray,
+    spos: np.ndarray,
+    word_size: int,
+    matrix: np.ndarray,
+    x_drop: int,
+    *,
+    chunk: int = 16,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`ungapped_extend` over many trigger points.
+
+    Returns ``(qstart, qend, sstart, send, score)`` int64 arrays whose
+    element ``i`` equals ``ungapped_extend(q, s, qpos[i], spos[i], ...)``
+    bit for bit.  Out-of-range steps score a large negative barrier, so
+    sequences may carry in-band sentinel codes (rows/columns of
+    ``matrix`` more negative than ``-x_drop``) to delimit records inside
+    one concatenated array — an extension can never cross a sentinel.
+    """
+    n = len(qpos)
+    if n == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy(), e.copy(), e.copy(), e.copy()
+    mat = np.ascontiguousarray(matrix, dtype=np.int64)
+    barrier = np.int64(-(1 << 30))
+    qp = np.asarray(qpos, dtype=np.int64)
+    sp = np.asarray(spos, dtype=np.int64)
+    nq, ns = len(q), len(s)
+
+    seed = np.zeros(n, dtype=np.int64)
+    for k in range(word_size):
+        seed += mat[q[qp + k], s[sp + k]]
+
+    # Right extension from the residue after the word.
+    qe0, se0 = qp + word_size, sp + word_size
+
+    def right_scores(rows: np.ndarray, offs: np.ndarray) -> np.ndarray:
+        qi = qe0[rows][:, None] + offs
+        sj = se0[rows][:, None] + offs
+        ok = (qi < nq) & (sj < ns)
+        sc = mat[
+            q[np.minimum(qi, nq - 1)], s[np.minimum(sj, ns - 1)]
+        ]
+        return np.where(ok, sc, barrier)
+
+    cur = seed.copy()
+    best = seed.copy()
+    roff = np.zeros(n, dtype=np.int64)
+    _advance_batch(right_scores, qe0, cur, best, roff, x_drop, chunk)
+
+    # Left extension, seeded with the right-extension best.
+    def left_scores(rows: np.ndarray, offs: np.ndarray) -> np.ndarray:
+        qi = qp[rows][:, None] - 1 - offs
+        sj = sp[rows][:, None] - 1 - offs
+        ok = (qi >= 0) & (sj >= 0)
+        sc = mat[q[np.maximum(qi, 0)], s[np.maximum(sj, 0)]]
+        return np.where(ok, sc, barrier)
+
+    cur2 = best.copy()
+    best2 = best.copy()
+    loff = np.zeros(n, dtype=np.int64)
+    _advance_batch(left_scores, qp, cur2, best2, loff, x_drop, chunk)
+
+    return (
+        qp - loff,
+        qe0 + roff,
+        sp - loff,
+        se0 + roff,
+        best2,
+    )
+
+
 @dataclass
 class _HalfExtension:
     score: int
@@ -127,11 +258,17 @@ def _extend_half(
     H = np.full((nq + 1, width), NEG_INF, dtype=np.int64)
     E = np.full((nq + 1, width), NEG_INF, dtype=np.int64)
     F = np.full((nq + 1, width), NEG_INF, dtype=np.int64)
+    # All substitution scores at once (row i-1 of the DP reads row
+    # i-1 of this) — one gather instead of one per row.
+    subsc = matrix[q.astype(np.int64)[:, None], s.astype(np.int64)[None, :]]
+    subsc = subsc.astype(np.int64, copy=False)
 
     jj = np.arange(width, dtype=np.int64)
+    gejj = ge * jj
+    buf = np.empty(width, dtype=np.int64)
     H[0, 0] = 0
     # First row: leading gap in the query (consumes subject only).
-    first = -(go + ge * jj[1:])
+    first = -(go + gejj[1:])
     H[0, 1:] = first
     E[0, 1:] = first
     best = 0
@@ -139,30 +276,30 @@ def _extend_half(
     H[0, H[0] < best - x_drop] = NEG_INF
 
     for i in range(1, nq + 1):
-        qrow = matrix[q[i - 1]].astype(np.int64)
         Hp = H[i - 1]
         # Vertical gaps (consume query only).
-        Fi = np.maximum(F[i - 1] - ge, Hp - open_cost)
-        # Diagonal.
-        diag = np.full(width, NEG_INF, dtype=np.int64)
-        diag[1:] = Hp[:-1] + qrow[s]
-        H0 = np.maximum(diag, Fi)
+        Fi = F[i]
+        np.subtract(F[i - 1], ge, out=Fi)
+        np.maximum(Fi, Hp - open_cost, out=Fi)
+        # Diagonal, merged with F in place: H0 = max(diag, F).
+        Hi = H[i]
+        np.add(Hp[:-1], subsc[i - 1], out=Hi[1:])
+        np.maximum(Hi, Fi, out=Hi)
+        Hi[0] = Fi[0]
         # Horizontal gaps via exact prefix-max over non-E cells:
         # E[j] = max_{k<j} (H0[k] - go - ge*(j-k)).
-        run = np.maximum.accumulate(H0 + ge * jj)
-        Ei = np.full(width, NEG_INF, dtype=np.int64)
-        Ei[1:] = run[:-1] - go - ge * jj[1:]
-        Hi = np.maximum(H0, Ei)
+        np.add(Hi, gejj, out=buf)
+        np.maximum.accumulate(buf, out=buf)
+        Ei = E[i]
+        np.subtract(buf[:-1], go + gejj[1:], out=Ei[1:])
+        np.maximum(Hi, Ei, out=Hi)
         # X-drop bookkeeping and masking.
         row_best = int(Hi.max())
         if row_best > best:
             best = row_best
             best_ij = (i, int(Hi.argmax()))
         Hi[Hi < best - x_drop] = NEG_INF
-        H[i] = Hi
-        E[i] = Ei
-        F[i] = Fi
-        if (Hi == NEG_INF).all():
+        if row_best < best - x_drop:
             break
 
     bi, bj = best_ij

@@ -20,6 +20,30 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def rolling_codes(
+    s: np.ndarray, word_size: int, nstd: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rolling word codes of ``s``; returns (positions, codes).
+
+    Positions whose word contains a wildcard (code >= ``nstd``) are
+    excluded.  Pure function of the sequence and (word_size, nstd) —
+    query-independent, so scan drivers may compute it once per subject
+    buffer and reuse it across query indexes.
+    """
+    n = len(s) - word_size + 1
+    if n <= 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    s64 = s.astype(np.int64)
+    codes = np.zeros(n, dtype=np.int64)
+    valid = np.ones(n, dtype=bool)
+    for k in range(word_size):
+        part = s64[k : k + n]
+        codes = codes * nstd + part
+        valid &= part < nstd
+    pos = np.nonzero(valid)[0]
+    return pos, codes[pos]
+
+
 @dataclass
 class SeedStats:
     """Work counters from scanning one subject (feeds the cost model)."""
@@ -54,7 +78,6 @@ class WordIndex:
         w, nstd = self.word_size, self.nstd
         nwords = nstd**w
         npos = len(q) - w + 1
-        hits_by_code: dict[int, list[int]] = {}
         if npos > 0 and not exact_only and w == 3:
             # Fully vectorized neighbourhood for the blastp case: the
             # score of candidate word (a,b,c) against the query word at
@@ -92,40 +115,55 @@ class WordIndex:
                 self._dense = True
                 return
         if npos > 0 and (exact_only or w != 3):
-            # Exact words (blastn, or exact_only protein mode).
-            base = nstd
-            for pos in range(npos):
-                word = q[pos : pos + w]
-                if (word >= nstd).any():
-                    continue
-                code = 0
-                for r in word:
-                    code = code * base + int(r)
-                hits_by_code.setdefault(code, []).append(pos)
+            # Exact words (blastn, or exact_only protein mode): the same
+            # rolling-code scheme :meth:`subject_codes` uses, so the
+            # build is one vectorized pass instead of a per-position
+            # Python loop with a per-residue inner loop.
+            q64 = q.astype(np.int64)
+            codes = np.zeros(npos, dtype=np.int64)
+            valid = np.ones(npos, dtype=bool)
+            for k in range(w):
+                part = q64[k : k + npos]
+                codes = codes * nstd + part
+                valid &= part < nstd
+            positions = np.nonzero(valid)[0].astype(np.int64)
+            codes = codes[valid]
+        else:
+            positions = np.empty(0, dtype=np.int64)
+            codes = np.empty(0, dtype=np.int64)
 
         self.num_words = nwords
-        self._dense = nwords <= 1 << 22
+        self._dense = nwords <= 1 << 16
+        # Positions are already in increasing order, so a stable sort
+        # by code yields lookup data with per-code positions ascending —
+        # same layout the blastp branch builds.
+        order = np.argsort(codes, kind="stable")
+        self.data = positions[order]
         if self._dense:
-            counts = np.zeros(nwords + 1, dtype=np.int64)
-            for code, positions in hits_by_code.items():
-                counts[code + 1] = len(positions)
-            self.indptr = np.cumsum(counts)
-            data = np.empty(int(self.indptr[-1]), dtype=np.int64)
-            for code, positions in hits_by_code.items():
-                start = self.indptr[code]
-                data[start : start + len(positions)] = positions
-            self.data = data
+            counts = np.bincount(codes, minlength=nwords)
+            self.indptr = np.concatenate(([0], np.cumsum(counts))).astype(
+                np.int64
+            )
         else:
-            self._table = {
-                code: np.asarray(pos, dtype=np.int64)
-                for code, pos in hits_by_code.items()
-            }
+            # Large word spaces (blastn w=11 has 4^11 ≈ 4.2M words):
+            # a dense table would cost O(num_words) to build and to
+            # gather from per scan.  Store the distinct codes sorted
+            # and binary-search subject codes into them instead —
+            # O(entries + scan·log(distinct)).
+            codes_sorted = codes[order]
+            uniq, ustarts = np.unique(codes_sorted, return_index=True)
+            self._uniq = uniq
+            self._ubounds = np.concatenate(
+                (ustarts, [len(codes_sorted)])
+            ).astype(np.int64)
+            # Bool membership table: one O(1) gather per scanned
+            # position replaces a binary search over the whole scan.
+            self._member = np.zeros(nwords, dtype=bool)
+            self._member[uniq] = True
 
     @property
     def total_entries(self) -> int:
-        if self._dense:
-            return int(self.indptr[-1])
-        return sum(len(v) for v in self._table.values())
+        return len(self.data)
 
     # ------------------------------------------------------------------
     def subject_codes(self, s: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -133,67 +171,62 @@ class WordIndex:
 
         Positions whose word contains a wildcard are excluded.
         """
-        w, nstd = self.word_size, self.nstd
-        n = len(s) - w + 1
-        if n <= 0:
-            return (
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
-            )
-        s64 = s.astype(np.int64)
-        codes = np.zeros(n, dtype=np.int64)
-        valid = np.ones(n, dtype=bool)
-        for k in range(w):
-            part = s64[k : k + n]
-            codes = codes * nstd + part
-            valid &= part < nstd
-        pos = np.nonzero(valid)[0]
-        return pos, codes[pos]
+        return rolling_codes(s, self.word_size, self.nstd)
 
-    def find_hits(self, s: np.ndarray, stats: SeedStats | None = None
-                  ) -> tuple[np.ndarray, np.ndarray]:
+    def find_hits(
+        self,
+        s: np.ndarray,
+        stats: SeedStats | None = None,
+        *,
+        precomputed: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """All word hits against subject ``s``: arrays (spos, qpos).
 
         Hits are ordered by subject position (then query position).
+        ``precomputed`` optionally supplies ``(positions, codes)`` from a
+        prior :func:`rolling_codes` pass over ``s`` — the codes depend
+        only on (word_size, nstd), so a caller scanning the same subject
+        data with many query indexes computes them once.
         """
-        pos, codes = self.subject_codes(s)
+        if precomputed is not None:
+            pos, codes = precomputed
+        else:
+            pos, codes = self.subject_codes(s)
         if stats is not None:
             stats.positions_scanned += len(s)
         if len(pos) == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
         if self._dense:
             starts = self.indptr[codes]
-            ends = self.indptr[codes + 1]
-            counts = ends - starts
-            total = int(counts.sum())
-            if total == 0:
-                return (
-                    np.empty(0, dtype=np.int64),
-                    np.empty(0, dtype=np.int64),
-                )
-            spos = np.repeat(pos, counts)
-            cum = np.cumsum(counts) - counts
-            offsets = np.arange(total, dtype=np.int64) - np.repeat(cum, counts)
-            qpos = self.data[np.repeat(starts, counts) + offsets]
+            counts = self.indptr[codes + 1] - starts
+            # Drop positions with no hits before the expansion so
+            # cumsum/repeat run over the hit-bearing positions only.
+            nz = counts > 0
+            pos, starts, counts = pos[nz], starts[nz], counts[nz]
         else:
-            sp_list: list[np.ndarray] = []
-            qp_list: list[np.ndarray] = []
-            table = self._table
-            for p, c in zip(pos, codes):
-                entry = table.get(int(c))
-                if entry is not None:
-                    sp_list.append(np.full(len(entry), p, dtype=np.int64))
-                    qp_list.append(entry)
-            if not sp_list:
+            if len(self._uniq) == 0:
                 return (
                     np.empty(0, dtype=np.int64),
                     np.empty(0, dtype=np.int64),
                 )
-            spos = np.concatenate(sp_list)
-            qpos = np.concatenate(qp_list)
+            ok = self._member[codes]
+            pos, codes = pos[ok], codes[ok]
+            iu = np.searchsorted(self._uniq, codes)
+            starts = self._ubounds[iu]
+            counts = self._ubounds[iu + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        spos = np.repeat(pos, counts)
+        cum = np.cumsum(counts) - counts
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(cum, counts)
+        qpos = self.data[np.repeat(starts, counts) + offsets]
         if stats is not None:
             stats.word_hits += len(spos)
         return spos, qpos
+
+
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 def two_hit_triggers(
@@ -202,17 +235,17 @@ def two_hit_triggers(
     *,
     window: int,
     word_size: int,
-) -> list[tuple[int, int]]:
+) -> tuple[np.ndarray, np.ndarray]:
     """Two-hit trigger points from word hits.
 
     A hit triggers when an *earlier* hit exists on the same diagonal at
     subject distance in ``[word_size, window]`` — non-overlapping, and
-    within the two-hit window A (Altschul et al. 1997).  Returns
-    [(qpos, spos), ...] of the triggering (second) hits, ordered by
+    within the two-hit window A (Altschul et al. 1997).  Returns the
+    ``(qpos, spos)`` arrays of the triggering (second) hits, ordered by
     (diagonal, subject position).
     """
     if len(spos) == 0:
-        return []
+        return _EMPTY, _EMPTY
     diag = qpos - spos
     # Combined sort key (diagonal, subject position) so a same-diagonal
     # window is one contiguous slice searchable with searchsorted.
@@ -226,11 +259,94 @@ def two_hit_triggers(
     d = trig // big
     s = trig - d * big
     q = d + s
-    return [(int(qq), int(ss)) for qq, ss in zip(q, s)]
+    return q, s
 
 
-def one_hit_triggers(spos: np.ndarray, qpos: np.ndarray) -> list[tuple[int, int]]:
-    """Every word hit triggers (blastn / one-hit blastp mode)."""
+def one_hit_triggers(
+    spos: np.ndarray, qpos: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Every word hit triggers (blastn / one-hit blastp mode).
+
+    Returns the ``(qpos, spos)`` arrays ordered by (diagonal, subject
+    position).
+    """
+    if len(spos) == 0:
+        return _EMPTY, _EMPTY
     diag = qpos - spos
     order = np.lexsort((spos, diag))
-    return [(int(qpos[i]), int(spos[i])) for i in order]
+    return (
+        qpos[order].astype(np.int64, copy=False),
+        spos[order].astype(np.int64, copy=False),
+    )
+
+
+def batch_triggers(
+    subj: np.ndarray,
+    spos: np.ndarray,
+    qpos: np.ndarray,
+    *,
+    window: int,
+    word_size: int,
+    two_hit: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Segment-aware triggers over hits spanning many subjects at once.
+
+    ``subj`` gives the subject record of each hit and ``spos`` is the
+    hit's *subject-local* position.  The two-hit window never pairs hits
+    from different subjects (the subject id is folded into the sort key),
+    so the result decomposes exactly into per-subject
+    :func:`two_hit_triggers` calls.  Returns ``(subj, qpos, spos)``
+    trigger arrays grouped by subject in increasing order, each group
+    internally ordered by (diagonal, subject position) — the order the
+    scalar kernel visits them in.
+
+    Falls back to a per-subject loop if the folded key would overflow
+    ``int64`` (gigantic subjects; never the synthetic workloads).
+    """
+    if len(spos) == 0:
+        return _EMPTY, _EMPTY, _EMPTY
+    if not two_hit:
+        order = np.lexsort((spos, qpos - spos, subj))
+        return (
+            subj[order].astype(np.int64, copy=False),
+            qpos[order].astype(np.int64, copy=False),
+            spos[order].astype(np.int64, copy=False),
+        )
+    diag = qpos - spos
+    d0 = int(diag.min())
+    drange = int(diag.max()) - d0 + 1
+    big = int(spos.max()) + int(window) + 2
+    nsub = int(subj.max()) + 1
+    if float(nsub) * float(drange) * float(big) >= float(1 << 62):
+        # Unfoldable without overflow: do it per subject (rare).
+        out_s, out_q, out_p = [], [], []
+        for si in np.unique(subj):
+            sel = subj == si
+            q, s = two_hit_triggers(
+                spos[sel], qpos[sel], window=window, word_size=word_size
+            )
+            out_s.append(np.full(len(q), si, dtype=np.int64))
+            out_q.append(q)
+            out_p.append(s)
+        return (
+            np.concatenate(out_s) if out_s else _EMPTY,
+            np.concatenate(out_q) if out_q else _EMPTY,
+            np.concatenate(out_p) if out_p else _EMPTY,
+        )
+    # key = ((subj, diagonal), spos): within one (subj, diagonal) block
+    # keys differ only in spos, and blocks are spaced by ``big`` > any
+    # in-window distance, so the searchsorted window test below can
+    # never cross a block boundary — same construction as the
+    # single-subject key, with the subject folded in.
+    group = subj.astype(np.int64) * drange + (diag - d0)
+    key = group * big + spos
+    key.sort()
+    lo = np.searchsorted(key, key - window, side="left")
+    hi = np.searchsorted(key, key - word_size, side="right")
+    mask = lo < hi
+    trig = key[mask]
+    g = trig // big
+    s = trig - g * big
+    d = g % drange + d0
+    t_subj = g // drange
+    return t_subj, d + s, s

@@ -1,20 +1,42 @@
-"""Emit the machine-readable benchmark file (``BENCH_pr4.json``).
+"""Emit the machine-readable benchmark file (``BENCH_pr6.json``).
 
-Runs the paper-regime experiments — the Table-1 32-process comparison
-and the Figure-3(a) scalability sweep — with metrics and tracing on, and
-stores each run's :func:`repro.obs.export.run_metrics` dict (makespan,
-per-phase maxima, counter totals, makespan attribution, critical-path
-decomposition) under ``runs["<program>/np<N>"]``.
+Runs the paper-regime experiments — the Table-1 32-process comparison,
+the Figure-3(a) scalability sweep, and a large np=128 point — with
+metrics and tracing on, and stores each run's
+:func:`repro.obs.export.run_metrics` dict (makespan, per-phase maxima,
+counter totals, makespan attribution, critical-path decomposition)
+under ``runs["<program>/np<N>"]``.
+
+Two kinds of time appear in the file and must not be confused:
+
+* **virtual** seconds (``makespan``, ``phases.*``) — simulated time from
+  the cost model; deterministic, comparable across machines;
+* **host** seconds (``host_s``, ``*_host_s``) — wall-clock time the run
+  took on the machine that wrote the file; noisy, only comparable
+  against baselines from similar hardware, but the only number that can
+  show whether the *implementation* (batched search kernel, simmpi
+  scheduler fast path) got faster.
+
+The ``kernel`` section times the batched BLAST search kernel directly
+(no simulator): each scenario searches a synthetic database once with
+``SearchParams.batch`` off (scalar reference) and once on, records both
+host times and the speedup.  The paper's data-access argument is made
+on GenBank *nt*-scale databases, so the headline scenario is the
+10^4-sequence blastn database; blastp is recorded alongside (its gapped
+DP stage is shared scalar code, so its speedup is lower).
 
 The file is the comparison baseline for :mod:`repro.obs.compare`::
 
-    python -m repro.obs.bench --out BENCH_pr4.json          # full (slow)
+    python -m repro.obs.bench --out BENCH_pr6.json          # full (slow)
     python -m repro.obs.bench --quick --out /tmp/now.json   # CI-sized
-    python -m repro.obs.compare BENCH_pr4.json /tmp/now.json
+    python -m repro.obs.compare BENCH_pr6.json /tmp/now.json
 
-``--quick`` shrinks the workload and the process counts so the sweep
-finishes in seconds; quick files are only comparable to quick files
-(the document records which flavour it is).
+``--quick`` shrinks the workload, the process counts, and the kernel
+databases so the sweep finishes in seconds; quick files are only
+comparable to quick files (the document records which flavour it is).
+``--host-budget S`` makes the run fail (exit 3) if the total host time
+exceeds ``S`` seconds — the hard wall-clock gate the CI perf-smoke job
+relies on.
 """
 
 from __future__ import annotations
@@ -22,40 +44,126 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import time
 
+from repro.blast.engine import (
+    BlastSearch,
+    ListDatabase,
+    SearchParams,
+    SearchStats,
+)
 from repro.experiments.common import ExperimentWorkload, run_program_raw
 from repro.experiments.fig3a import PROCESS_COUNTS
 from repro.obs.export import run_metrics
 from repro.obs.tracer import Tracer
 from repro.platforms import ORNL_ALTIX
+from repro.simmpi.engine import Engine
+from repro.workloads import (
+    SynthSpec,
+    synthesize_dna_records,
+    synthesize_protein_records,
+)
 
-#: Figure-3(a) sweep plus the Table-1 point (32 is in both).
-FULL_COUNTS = PROCESS_COUNTS
-QUICK_COUNTS = (4, 8)
+#: Figure-3(a) sweep plus the Table-1 point (32 is in both) plus the
+#: large np=128 scheduler-stress point.
+FULL_COUNTS = PROCESS_COUNTS + (128,)
+#: CI keeps the np=128 point: it is the scheduler-heavy regime the
+#: simmpi fast path exists for, and the quick workload keeps it cheap.
+QUICK_COUNTS = (4, 8, 128)
 QUICK_QUERY_BYTES = 4_000
+
+#: Kernel scenarios: (program, database sequences).  Sequences average
+#: 300 letters, so 10^4 sequences is a ~3 Mletter fragment.
+KERNEL_FULL = (("blastn", 10_000), ("blastp", 10_000))
+KERNEL_QUICK = (("blastn", 1_000), ("blastp", 1_000))
+KERNEL_QUERIES = 4
+
+
+def kernel_scenarios(
+    scenarios=KERNEL_FULL, *, verbose: bool = False
+) -> dict[str, dict]:
+    """Time the search kernel, scalar vs batched, per scenario.
+
+    Both modes search the same queries against the same database and
+    produce bit-identical results (enforced by the tier-1 suite); only
+    the host time differs.  The global index memo is cleared before
+    each timed run so neither mode inherits the other's cached work.
+    """
+    out: dict[str, dict] = {}
+    for program, nseqs in scenarios:
+        if program == "blastn":
+            recs = synthesize_dna_records(
+                SynthSpec(num_sequences=nseqs, mean_length=300, seed=11)
+            )
+            base = dict(program="blastn", gapped=False)
+        else:
+            recs = synthesize_protein_records(
+                SynthSpec(num_sequences=nseqs, mean_length=300)
+            )
+            base = dict(program="blastp")
+        step = max(1, nseqs // KERNEL_QUERIES)
+        queries = [recs[i] for i in range(0, nseqs, step)][:KERNEL_QUERIES]
+        entry: dict = {
+            "num_sequences": nseqs,
+            "num_queries": len(queries),
+        }
+        for mode, batch in (("scalar", False), ("batch", True)):
+            BlastSearch._GLOBAL_INDEX_MEMO.clear()
+            eng = BlastSearch(SearchParams(batch=batch, **base))
+            db = ListDatabase(recs, eng.alphabet)
+            entry["db_letters"] = db.total_letters
+            t0 = time.perf_counter()
+            eng.search_fragment(
+                queries,
+                db,
+                db_letters=db.total_letters,
+                db_num_seqs=db.num_sequences,
+                stats=SearchStats(),
+            )
+            entry[f"{mode}_host_s"] = time.perf_counter() - t0
+        entry["speedup"] = entry["scalar_host_s"] / entry["batch_host_s"]
+        name = f"{program}/{nseqs}"
+        out[name] = entry
+        if verbose:
+            print(
+                f"kernel {name}: scalar {entry['scalar_host_s']:.2f}s, "
+                f"batch {entry['batch_host_s']:.2f}s "
+                f"({entry['speedup']:.1f}x)"
+            )
+    return out
 
 
 def bench_document(
     *, quick: bool = False, trace: bool = True, verbose: bool = False
 ) -> dict:
-    """Run the sweep and build the bench document."""
+    """Run the sweep and the kernel scenarios; build the bench document."""
     wl = ExperimentWorkload()
     counts = FULL_COUNTS
+    kernels = KERNEL_FULL
     if quick:
         wl = wl.with_query_bytes(QUICK_QUERY_BYTES)
         counts = QUICK_COUNTS
+        kernels = KERNEL_QUICK
+    # Kernel scenarios run first: they are pure wall-clock measurements,
+    # and timing them in a fresh process state (before the simulator
+    # sweep has churned the allocator) keeps them reproducible.
+    kernel = kernel_scenarios(kernels, verbose=verbose)
     runs: dict[str, dict] = {}
     for program in ("mpiblast", "pioblast"):
         for nprocs in counts:
             tracer = Tracer() if trace else None
+            t0 = time.perf_counter()
             _b, result, _store, _cfg = run_program_raw(
                 program, nprocs, wl, ORNL_ALTIX, tracer=tracer
             )
+            host_s = time.perf_counter() - t0
             name = f"{program}/np{nprocs}"
             runs[name] = run_metrics(result, program=program)
+            runs[name]["host_s"] = host_s
             if verbose:
                 print(
                     f"{name}: makespan {result.makespan:.1f}s, "
+                    f"host {host_s:.2f}s, "
                     f"{len(result.events or [])} events"
                 )
     return {
@@ -64,9 +172,20 @@ def bench_document(
             "quick": quick,
             "process_counts": list(counts),
             "query_bytes": wl.query_bytes,
+            "scheduler_fast_wakes": Engine.FAST_WAKES_DEFAULT,
         },
         "runs": runs,
+        "kernel": kernel,
     }
+
+
+def total_host_s(doc: dict) -> float:
+    """Total wall-clock seconds recorded in a bench document."""
+    total = sum(r.get("host_s", 0.0) for r in doc.get("runs", {}).values())
+    for entry in doc.get("kernel", {}).values():
+        total += entry.get("scalar_host_s", 0.0)
+        total += entry.get("batch_host_s", 0.0)
+    return total
 
 
 def write_bench(
@@ -83,18 +202,30 @@ def write_bench(
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.obs.bench",
-        description="Run the table1/fig3a sweep, write bench JSON.",
+        description=(
+            "Run the table1/fig3a/np128 sweep and the kernel scenarios, "
+            "write bench JSON."
+        ),
     )
-    ap.add_argument("--out", default="BENCH_pr4.json")
+    ap.add_argument("--out", default="BENCH_pr6.json")
     ap.add_argument("--quick", action="store_true",
                     help="small workload + few process counts (CI)")
     ap.add_argument("--no-trace", action="store_true",
                     help="skip tracing (no attribution/critical path)")
+    ap.add_argument("--host-budget", type=float, default=None, metavar="S",
+                    help="fail (exit 3) if total host time exceeds S "
+                         "seconds")
     ns = ap.parse_args(argv)
     doc = write_bench(
         ns.out, quick=ns.quick, trace=not ns.no_trace, verbose=True
     )
-    print(f"wrote {ns.out} ({len(doc['runs'])} runs)")
+    spent = total_host_s(doc)
+    print(f"wrote {ns.out} ({len(doc['runs'])} runs, "
+          f"{len(doc['kernel'])} kernel scenarios, "
+          f"host time {spent:.1f}s)")
+    if ns.host_budget is not None and spent > ns.host_budget:
+        print(f"HOST BUDGET EXCEEDED: {spent:.1f}s > {ns.host_budget:.1f}s")
+        return 3
     return 0
 
 

@@ -24,6 +24,10 @@ from dataclasses import dataclass
 COMPARED_KEYS = ("makespan",)
 #: Nested dicts compared key-by-key, all "lower is better".
 COMPARED_SECTIONS = ("phases", "critical_path", "attribution_rank_max")
+#: Wall-clock keys, compared with the (looser) host threshold: host
+#: times are real measurements on whatever machine ran the bench, so
+#: they carry scheduling noise that virtual-time keys do not.
+HOST_KEYS = ("host_s", "scalar_host_s", "batch_host_s")
 
 
 @dataclass(frozen=True)
@@ -60,16 +64,27 @@ def _runs(doc: dict) -> dict:
 
 
 def compare_bench(
-    old: dict, new: dict, *, threshold: float = 0.05
+    old: dict,
+    new: dict,
+    *,
+    threshold: float = 0.05,
+    host_threshold: float = 0.5,
 ) -> list[Delta]:
-    """All deltas beyond ``threshold`` between two bench documents."""
+    """All deltas beyond ``threshold`` between two bench documents.
+
+    Wall-clock keys (:data:`HOST_KEYS`, including the ``kernel``
+    section) are compared against ``host_threshold`` instead — they are
+    noisy measurements, and a tight threshold would make the comparison
+    flap.  Set ``host_threshold`` to ``float("inf")`` to ignore host
+    time entirely (e.g. when diffing files from different machines).
+    """
     deltas: list[Delta] = []
 
-    def check(run: str, key: str, a, b) -> None:
+    def check(run: str, key: str, a, b, limit: float) -> None:
         if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
             return
         base = max(abs(a), 1e-12)
-        if abs(b - a) / base > threshold:
+        if abs(b - a) / base > limit:
             deltas.append(Delta(run, key, float(a), float(b)))
 
     old_runs, new_runs = _runs(old), _runs(new)
@@ -77,11 +92,20 @@ def compare_bench(
         o, n = old_runs[run], new_runs[run]
         for key in COMPARED_KEYS:
             if key in o and key in n:
-                check(run, key, o[key], n[key])
+                check(run, key, o[key], n[key], threshold)
+        for key in HOST_KEYS:
+            if key in o and key in n:
+                check(run, key, o[key], n[key], host_threshold)
         for sec in COMPARED_SECTIONS:
             osec, nsec = o.get(sec, {}), n.get(sec, {})
             for key in sorted(set(osec) & set(nsec)):
-                check(run, f"{sec}.{key}", osec[key], nsec[key])
+                check(run, f"{sec}.{key}", osec[key], nsec[key], threshold)
+    old_k, new_k = old.get("kernel", {}), new.get("kernel", {})
+    for run in sorted(set(old_k) & set(new_k)):
+        o, n = old_k[run], new_k[run]
+        for key in HOST_KEYS:
+            if key in o and key in n:
+                check(f"kernel:{run}", key, o[key], n[key], host_threshold)
     return deltas
 
 
@@ -94,6 +118,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("new")
     ap.add_argument("--threshold", type=float, default=0.05,
                     help="relative change to flag (default 0.05)")
+    ap.add_argument("--host-threshold", type=float, default=0.5,
+                    help="relative change to flag on wall-clock keys "
+                         "(default 0.5; use inf to ignore host time)")
     ns = ap.parse_args(argv)
     old, new = load_bench(ns.old), load_bench(ns.new)
     flavours = tuple(
@@ -105,7 +132,11 @@ def main(argv: list[str] | None = None) -> int:
             f"({ns.old}: quick={flavours[0]}, {ns.new}: quick={flavours[1]})"
         )
         return 2
-    deltas = compare_bench(old, new, threshold=ns.threshold)
+    deltas = compare_bench(
+        old, new,
+        threshold=ns.threshold,
+        host_threshold=ns.host_threshold,
+    )
     if not deltas:
         print(f"no changes beyond {ns.threshold:.0%}")
         return 0

@@ -30,6 +30,7 @@ from __future__ import annotations
 import heapq
 import threading
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
@@ -64,10 +65,19 @@ class RankKilled(SimError):
 
 @dataclass(order=True)
 class _Event:
+    """A queue entry: either an action or a parker wake.
+
+    Wake events store ``(parker, value)`` directly instead of a
+    closure — the common case by far, and the allocation that used to
+    dominate ``unpark_at`` on large runs.
+    """
+
     time: float
     seq: int
-    action: Callable[[], None] = field(compare=False)
+    action: Callable[[], None] | None = field(compare=False, default=None)
     cancelled: bool = field(default=False, compare=False)
+    parker: "Parker | None" = field(default=None, compare=False)
+    value: Any = field(default=None, compare=False)
 
 
 class _RankThread:
@@ -106,13 +116,42 @@ class Parker:
 
 
 class Engine:
-    """Virtual-clock scheduler for cooperative rank threads."""
+    """Virtual-clock scheduler for cooperative rank threads.
 
-    def __init__(self) -> None:
+    ``fast_wakes`` enables the scheduler fast path: wake data stored on
+    the event (no closure per ``unpark_at``), a FIFO ready-queue for
+    events scheduled at the current timestamp (no heap traffic), and
+    *park-steal* — a parking rank that is about to block inspects the
+    globally next event, and if that event is a wake for one of its
+    own parkers it advances the clock and consumes it inline, skipping
+    both OS context switches of a scheduler handoff.  Stealing is
+    exact: the stolen event is what the scheduler would pop next,
+    nothing can run in between, and any non-wake event (kills,
+    timeouts, custom actions) or another rank's wake stops the steal.
+    ``fast_wakes=False`` keeps the original closure-per-wake scheduler
+    as a replay reference.
+    """
+
+    #: default for engines constructed without an explicit flag
+    FAST_WAKES_DEFAULT: bool = True
+
+    #: compact the queue once at least this many cancelled events are
+    #: pending *and* they outnumber live ones (see :meth:`cancel`)
+    CANCEL_COMPACT_MIN: int = 64
+
+    def __init__(self, fast_wakes: bool | None = None) -> None:
         self._lock = threading.RLock()
         self._sched_cv = threading.Condition(self._lock)
         self.now: float = 0.0
         self._queue: list[_Event] = []
+        self._ready: deque[_Event] = deque()
+        self._fast = (
+            Engine.FAST_WAKES_DEFAULT if fast_wakes is None else fast_wakes
+        )
+        self._cancelled_pending = 0
+        #: the rank thread currently holding the execution baton; the
+        #: scheduler loop only advances while this is ``None``
+        self._active: _RankThread | None = None
         self._seq = 0
         self._ranks: list[_RankThread] = []
         self._started = False
@@ -152,6 +191,9 @@ class Engine:
                     rt.state = "done"
                     if rt.exc is not None:
                         self._failures.append(rt.exc)
+                    # A finishing rank always holds the baton; return it
+                    # to the scheduler.
+                    self._active = None
                     self._sched_cv.notify()
 
         rt.thread = threading.Thread(
@@ -168,15 +210,114 @@ class Engine:
         Actions run with the engine lock held and must not block.
         """
         with self._lock:
-            if t < self.now - 1e-12:
-                raise SimError(f"cannot schedule in the past ({t} < {self.now})")
-            ev = _Event(max(t, self.now), self._seq, action)
-            self._seq += 1
+            return self._push_event(t, action=action)
+
+    def _push_event(
+        self,
+        t: float,
+        action: Callable[[], None] | None = None,
+        parker: "Parker | None" = None,
+        value: Any = None,
+    ) -> _Event:
+        """(lock held) Enqueue an event at ``t``, routing same-timestamp
+        events to the FIFO ready-queue on the fast path."""
+        if t < self.now - 1e-12:
+            raise SimError(f"cannot schedule in the past ({t} < {self.now})")
+        t = max(t, self.now)
+        ev = _Event(t, self._seq, action, parker=parker, value=value)
+        self._seq += 1
+        if self._fast and t <= self.now:
+            # Fires at the current timestamp: seq order alone decides
+            # its place, so a FIFO append replaces the heap push.
+            self._ready.append(ev)
+        else:
             heapq.heappush(self._queue, ev)
-            return ev
+        return ev
 
     def cancel(self, ev: _Event) -> None:
-        ev.cancelled = True
+        """Cancel a scheduled event.
+
+        Cancelled events are skipped when popped; they are *also*
+        counted, and once :attr:`CANCEL_COMPACT_MIN` of them are
+        pending and they outnumber the live events the queue is
+        compacted in place — without this, workloads that schedule and
+        cancel timeouts at a high rate (the FT drivers' heartbeats)
+        grow the heap without bound.
+        """
+        with self._lock:
+            if ev.cancelled:
+                return
+            ev.cancelled = True
+            self._cancelled_pending += 1
+            if (
+                self._cancelled_pending > self.CANCEL_COMPACT_MIN
+                and self._cancelled_pending * 2
+                > len(self._queue) + len(self._ready)
+            ):
+                self._queue = [e for e in self._queue if not e.cancelled]
+                heapq.heapify(self._queue)
+                if self._ready:
+                    self._ready = deque(
+                        e for e in self._ready if not e.cancelled
+                    )
+                self._cancelled_pending = 0
+
+    # -- queue pop/peek ------------------------------------------------
+    def _next_event(self) -> tuple[Any, _Event] | None:
+        """(lock held) Purge cancelled heads; peek the next event.
+
+        Returns ``(source, event)`` where source is the ready deque or
+        the heap, or ``None`` when both are empty.  The next event is
+        the smaller of the two heads by ``(time, seq)`` — ready events
+        were scheduled at what was then the current time, so this merge
+        reproduces the pure-heap order exactly.
+        """
+        q, rdy = self._queue, self._ready
+        while True:
+            while q and q[0].cancelled:
+                heapq.heappop(q)
+                if self._cancelled_pending:
+                    self._cancelled_pending -= 1
+            while rdy and rdy[0].cancelled:
+                rdy.popleft()
+                if self._cancelled_pending:
+                    self._cancelled_pending -= 1
+            if rdy and q:
+                er, eh = rdy[0], q[0]
+                src = rdy if (er.time, er.seq) < (eh.time, eh.seq) else q
+            elif rdy:
+                src = rdy
+            elif q:
+                src = q
+            else:
+                return None
+            return src, rdy[0] if src is rdy else q[0]
+
+    def _pop_event(self, src: Any) -> _Event:
+        """(lock held) Pop the event just peeked from ``src``."""
+        if src is self._ready:
+            return self._ready.popleft()
+        return heapq.heappop(self._queue)
+
+    def _fire_wake(self, ev: _Event) -> None:
+        """(lock held) Deliver a fast-path wake event.
+
+        Semantics match the legacy per-``unpark_at`` closure exactly:
+        wakes addressed to killed ranks are dropped, double wakes are an
+        error, and the owner is only handed control if it is currently
+        parked on this parker (otherwise the value is pre-posted).
+        """
+        parker = ev.parker
+        assert parker is not None
+        owner = parker.owner
+        if owner.killed:
+            return
+        if parker.woken:
+            raise SimError("parker woken twice")
+        parker.woken = True
+        parker.value = ev.value
+        if owner.waiting_on is parker:
+            self._run_thread(owner)
 
     # ------------------------------------------------------------------
     # blocking primitives (called from rank threads)
@@ -199,11 +340,27 @@ class Engine:
         if rt.killed:
             raise RankKilled(rt.rank)
         with self._lock:
+            # Wait spans start at park entry: a steal below may advance
+            # the clock, and the span must cover that virtual time just
+            # as it would had the rank been blocked while it passed.
+            t0 = self.now
+            target: _RankThread | None = None
+            if not parker.woken and self._fast:
+                target = self._drain_events(rt, parker, t0)
             if not parker.woken:
-                t0 = self.now
                 rt.waiting_on = parker
                 rt.state = "blocked"
-                self._sched_cv.notify()
+                if target is not None:
+                    # Direct handoff: the drain below found the globally
+                    # next event to be another rank's wake — pass the
+                    # baton straight to it, skipping the scheduler
+                    # thread (one OS context switch instead of two).
+                    self._active = target
+                    target.state = "running"
+                    target.cv.notify()
+                else:
+                    self._active = None
+                    self._sched_cv.notify()
                 while rt.state != "running":
                     rt.cv.wait()
                 rt.waiting_on = None
@@ -223,6 +380,73 @@ class Engine:
                 raise SimError("spurious wakeup without unpark")
             return parker.value
 
+    def _drain_events(
+        self, rt: _RankThread, parker: Parker, t0: float
+    ) -> "_RankThread | None":
+        """(lock held, fast path) Fire due wake events inline.
+
+        The caller is about to block on ``parker``, so it holds the
+        execution baton and the scheduler's next steps are fully
+        determined: pop the globally next event — the minimum over
+        ``(time, seq)`` — advance the clock to its time, and interpret
+        it.  While that event is a *wake*, this loop does exactly that,
+        here, on the caller's thread; nothing else can execute in
+        between, so the simulation is bit-identical to the scheduler
+        doing it.  Three cases:
+
+        * the caller's own ``parker`` — record the wait span and return;
+          ``park`` sees ``woken`` and never blocks (a ``sleep`` whose
+          wake is globally next costs no OS context switch at all);
+        * a wake some other rank is currently parked on — return that
+          rank as the handoff target; ``park`` passes the baton to it
+          directly, skipping the scheduler thread (one context switch
+          instead of two);
+        * a pre-posted wake (owner not parked on it) or a wake for a
+          killed rank — mark/drop it, exactly as the scheduler would,
+          and keep draining.
+
+        Any non-wake event (kill, timeout, custom action) or an empty
+        queue stops the drain with ``None``: the baton goes back to the
+        scheduler thread, which alone runs actions.
+
+        ``t0`` is the virtual time at park entry; the wait span and
+        wait-time metric recorded when the caller's own wake is
+        consumed use it so they match the blocked path exactly.
+        """
+        while True:
+            nxt = self._next_event()
+            if nxt is None:
+                return None
+            src, ev = nxt
+            if ev.parker is None:
+                return None
+            self._pop_event(src)
+            # The globally next event's time bounds every remaining
+            # event, so this is the same clock advance run() would do.
+            self.now = max(self.now, ev.time)
+            p = ev.parker
+            owner = p.owner
+            if owner.killed:
+                continue
+            if p.woken:
+                raise SimError("parker woken twice")
+            p.woken = True
+            p.value = ev.value
+            if p is parker:
+                # Exactly what the blocked path would have recorded.
+                if self.metrics is not None and self.now > t0:
+                    self.metrics.inc(rt.rank, "wait_s", self.now - t0)
+                if self.tracer is not None:
+                    self.tracer.span(
+                        EV_WAIT, rt.rank, t0, self.now,
+                        parker.label or "unlabelled",
+                    )
+                return None
+            if owner.waiting_on is p:
+                return owner
+            # pre-posted: the value is stored, the owner will pick it
+            # up when it parks on this parker; keep draining.
+
     def sleep(self, dt: float) -> None:
         """Advance this rank's virtual time by ``dt`` seconds."""
         if dt < 0:
@@ -236,6 +460,12 @@ class Engine:
 
     def unpark_at(self, parker: Parker, t: float, value: Any = None) -> None:
         """Schedule the wake of ``parker`` at virtual time ``t``."""
+        if self._fast:
+            # Fast path: the wake is data on the event, not a closure;
+            # the scheduler loop (or a park-steal) interprets it.
+            with self._lock:
+                self._push_event(t, parker=parker, value=value)
+            return
 
         def wake() -> None:
             owner = parker.owner
@@ -294,15 +524,22 @@ class Engine:
     # scheduler
     # ------------------------------------------------------------------
     def _run_thread(self, rt: _RankThread) -> None:
-        """(scheduler thread, lock held) hand control to ``rt`` and wait."""
+        """(scheduler thread, lock held) hand control to ``rt`` and wait.
+
+        On the fast path ranks may relay the baton among themselves
+        (see :meth:`park`); the scheduler therefore waits for the baton
+        to come back (``_active is None``), not for ``rt`` itself to
+        block — by then several other ranks may have run and blocked.
+        """
         if rt.state == "done":
             raise SimError(f"waking finished rank {rt.rank}")
+        self._active = rt
         rt.state = "running"
         if not rt.thread.is_alive():  # first activation
             rt.thread.start()
         else:
             rt.cv.notify()
-        while rt.state == "running":
+        while self._active is not None:
             self._sched_cv.wait()
 
     def run(self) -> float:
@@ -315,14 +552,19 @@ class Engine:
                 ev = _Event(0.0, self._seq, lambda rt=rt: self._run_thread(rt))
                 self._seq += 1
                 heapq.heappush(self._queue, ev)
-            while self._queue:
-                ev = heapq.heappop(self._queue)
-                if ev.cancelled:
-                    continue
+            while True:
+                nxt = self._next_event()
+                if nxt is None:
+                    break
+                src, ev = nxt
+                self._pop_event(src)
                 if ev.time < self.now - 1e-9:
                     raise SimError("time went backwards")
                 self.now = max(self.now, ev.time)
-                ev.action()
+                if ev.parker is not None:
+                    self._fire_wake(ev)
+                else:
+                    ev.action()
                 if self._failures:
                     raise self._failures[0]
             blocked = [rt.rank for rt in self._ranks if rt.state == "blocked"]

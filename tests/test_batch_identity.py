@@ -1,0 +1,374 @@
+"""Bit-identity of the fast paths against their scalar references.
+
+Two independent fast paths landed together and both promise *identical*
+output, not just equivalent output:
+
+* the batched search kernel (``SearchParams.batch``) must produce the
+  same alignments, the same statistics counters, and byte-identical
+  rendered reports as the scalar per-subject loop;
+* the simmpi scheduler fast path (``Engine.fast_wakes``) must replay
+  whole simulated runs — makespans, per-rank phase times, output files —
+  bit for bit against the legacy closure-per-wake scheduler.
+
+These tests are the contract that lets every other test in the suite
+run against the fast paths only.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast.engine import (
+    BlastSearch,
+    ListDatabase,
+    SearchParams,
+    SearchStats,
+)
+from repro.blast.extend import ungapped_extend, ungapped_extend_batch
+from repro.blast.fasta import SeqRecord
+from repro.blast.matrices import blosum62
+from repro.blast.output import DbStats, HitSummary, ReportWriter
+from repro.simmpi.engine import Engine, SimError
+from repro.workloads import (
+    SynthSpec,
+    synthesize_dna_records,
+    synthesize_protein_records,
+)
+
+# ----------------------------------------------------------------------
+# batched search kernel vs scalar reference
+# ----------------------------------------------------------------------
+
+
+def run_search(params: SearchParams, records, queries):
+    """One fragment search; returns (results, stats, report bytes)."""
+    BlastSearch._GLOBAL_INDEX_MEMO.clear()
+    eng = BlastSearch(params)
+    db = ListDatabase(records, eng.alphabet)
+    stats = SearchStats()
+    results = eng.search_fragment(
+        queries,
+        db,
+        db_letters=db.total_letters,
+        db_num_seqs=db.num_sequences,
+        stats=stats,
+    )
+    sp = eng.stats_params
+    writer = ReportWriter(
+        params.program,
+        DbStats("identity-db", db.num_sequences, db.total_letters),
+        lam=sp.lam,
+        k=sp.K,
+        h=sp.H,
+    )
+    parts = [writer.preamble()]
+    for query, alns in zip(queries, results):
+        summaries = [
+            HitSummary(a.subject_defline, a.bit_score, a.evalue)
+            for a in alns
+        ]
+        parts.append(
+            writer.query_header(query.defline, len(query.sequence),
+                                summaries)
+        )
+        parts.extend(writer.alignment_block(a) for a in alns)
+        parts.append(
+            writer.query_footer(
+                eng.effective_space(len(query.sequence), db.total_letters,
+                                    db.num_sequences)
+            )
+        )
+    return results, stats, b"".join(parts)
+
+
+def assert_batch_identical(records, queries, **params):
+    scalar = run_search(SearchParams(batch=False, **params), records, queries)
+    batched = run_search(SearchParams(batch=True, **params), records, queries)
+    assert scalar[1] == batched[1], "statistics counters diverged"
+    assert scalar[0] == batched[0], "alignments diverged"
+    assert scalar[2] == batched[2], "rendered report bytes diverged"
+
+
+class TestBatchedKernelIdentity:
+    def test_protein_families(self):
+        recs = synthesize_protein_records(
+            SynthSpec(num_sequences=120, mean_length=150,
+                      family_fraction=0.6, family_size=5, seed=101)
+        )
+        assert_batch_identical(recs, [recs[0], recs[3], recs[50]],
+                               program="blastp")
+
+    def test_protein_low_threshold(self):
+        # A lower neighbourhood threshold densifies word hits and
+        # triggers, stressing the covered-diagonal replay rounds.
+        recs = synthesize_protein_records(
+            SynthSpec(num_sequences=60, mean_length=120, seed=8)
+        )
+        assert_batch_identical(recs, [recs[1]], program="blastp",
+                               threshold=9)
+
+    def test_protein_ungapped(self):
+        recs = synthesize_protein_records(
+            SynthSpec(num_sequences=60, mean_length=120, seed=9)
+        )
+        assert_batch_identical(recs, [recs[2], recs[30]], program="blastp",
+                               gapped=False)
+
+    def test_nucleotide(self):
+        recs = synthesize_dna_records(
+            SynthSpec(num_sequences=150, mean_length=250,
+                      family_fraction=0.5, family_size=5, seed=11)
+        )
+        assert_batch_identical(recs, [recs[0], recs[70]], program="blastn")
+
+    def test_nucleotide_ungapped(self):
+        recs = synthesize_dna_records(
+            SynthSpec(num_sequences=150, mean_length=250, seed=12)
+        )
+        assert_batch_identical(recs, [recs[5]], program="blastn",
+                               gapped=False)
+
+    def test_wildcard_subjects(self):
+        recs = list(
+            synthesize_protein_records(
+                SynthSpec(num_sequences=40, mean_length=100, seed=13)
+            )
+        )
+        # Splice wildcards into subjects: word scanning must skip the
+        # X-containing words identically in both programs, and batched
+        # extensions must not leak across them.
+        for i in range(0, len(recs), 3):
+            s = recs[i].sequence
+            mid = len(s) // 2
+            recs[i] = SeqRecord(recs[i].defline,
+                                s[:mid] + "XXX" + s[mid:])
+        assert_batch_identical(recs, [recs[0], recs[3]], program="blastp")
+
+    def test_degenerate_subjects(self):
+        recs = list(
+            synthesize_protein_records(
+                SynthSpec(num_sequences=30, mean_length=90, seed=14)
+            )
+        )
+        # Empty, single-residue, and all-wildcard records exercise the
+        # concatenation bookkeeping (zero-length segments, sentinel
+        # adjacency) that the scalar path never sees.
+        recs[3] = SeqRecord("empty subject", "")
+        recs[7] = SeqRecord("single residue", "W")
+        recs[11] = SeqRecord("all wildcards", "XXXXX")
+        assert_batch_identical(recs, [recs[0], recs[7]], program="blastp")
+
+    def test_duplicate_subjects(self):
+        recs = list(
+            synthesize_protein_records(
+                SynthSpec(num_sequences=20, mean_length=110, seed=15)
+            )
+        )
+        # Duplicates force exact tie-breaking (same score, same spans,
+        # different oids) through cull/rank/render.
+        recs = recs + recs[:6]
+        assert_batch_identical(recs, [recs[0], recs[2]], program="blastp")
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_random_workloads(self, seed):
+        recs = synthesize_protein_records(
+            SynthSpec(num_sequences=25, mean_length=80,
+                      family_fraction=0.4, family_size=3, seed=seed)
+        )
+        assert_batch_identical(recs, [recs[0]], program="blastp")
+
+
+class TestUngappedBatchProperty:
+    @given(
+        seed=st.integers(0, 2**16),
+        qlen=st.integers(10, 60),
+        slen=st.integers(10, 60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_elementwise_equals_scalar(self, seed, qlen, slen):
+        rng = np.random.default_rng(seed)
+        q = rng.integers(0, 20, qlen).astype(np.int8)
+        s = rng.integers(0, 20, slen).astype(np.int8)
+        m = blosum62()
+        w = 3
+        qpos = np.arange(0, qlen - w + 1, dtype=np.int64)
+        spos = rng.integers(0, slen - w + 1, len(qpos)).astype(np.int64)
+        qs, qe, ss, se, sc = ungapped_extend_batch(q, s, qpos, spos, w, m, 16)
+        for i in range(len(qpos)):
+            hit = ungapped_extend(q, s, int(qpos[i]), int(spos[i]), w, m, 16)
+            assert (qs[i], qe[i], ss[i], se[i], sc[i]) == (
+                hit.qstart, hit.qend, hit.sstart, hit.send, hit.score,
+            )
+
+
+# ----------------------------------------------------------------------
+# simmpi scheduler fast path vs legacy scheduler
+# ----------------------------------------------------------------------
+
+
+def run_fingerprint(program, nprocs, *, fast, faults=None):
+    """Full-driver run under one scheduler mode; dense fingerprint."""
+    from repro.experiments.common import ExperimentWorkload, run_program_raw
+
+    old = Engine.FAST_WAKES_DEFAULT
+    Engine.FAST_WAKES_DEFAULT = fast
+    try:
+        wl = ExperimentWorkload(
+            db_spec=SynthSpec(num_sequences=90, mean_length=130,
+                              family_fraction=0.6, family_size=4,
+                              seed=2025),
+            query_bytes=2_500,
+        )
+        _b, result, store, _cfg = run_program_raw(
+            program, nprocs, wl, faults=faults
+        )
+    finally:
+        Engine.FAST_WAKES_DEFAULT = old
+    files = {p: store.read_all(p) for p in store.listdir()}
+    return {
+        "makespan": result.makespan,
+        "phase_times": result.phase_times,
+        "messages_sent": result.messages_sent,
+        "bytes_sent": result.bytes_sent,
+        "fs_ops": (result.fs_read_ops, result.fs_write_ops),
+        "dead_ranks": result.dead_ranks,
+        "promotions": result.promotions,
+        "files": files,
+    }
+
+
+class TestSchedulerReplayIdentity:
+    @pytest.mark.parametrize("program", ["mpiblast", "pioblast"])
+    def test_driver_replays_bit_for_bit(self, program):
+        fast = run_fingerprint(program, 6, fast=True)
+        legacy = run_fingerprint(program, 6, fast=False)
+        assert fast == legacy
+
+    def test_chaos_replay(self):
+        from repro.simmpi.faults import CrashFault, FaultPlan, StragglerFault
+
+        plan = FaultPlan(
+            seed=11,
+            events=(CrashFault(rank=2, time=0.05),
+                    StragglerFault(rank=3, factor=2.5)),
+        )
+        fast = run_fingerprint("pioblast", 8, fast=True, faults=plan)
+        legacy = run_fingerprint("pioblast", 8, fast=False, faults=plan)
+        assert fast == legacy
+
+
+class TestSchedulerFastPathUnits:
+    def test_park_steal_consumes_own_sleep(self):
+        eng = Engine(fast_wakes=True)
+        seen = []
+
+        def prog():
+            for i in range(5):
+                eng.sleep(1.0)
+                seen.append(eng.now)
+
+        eng.spawn(prog, 0)
+        assert eng.run() == 5.0
+        assert seen == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_preposted_value_delivered(self):
+        eng = Engine(fast_wakes=True)
+        got = []
+
+        def prog():
+            p = eng.make_parker("pre-posted")
+            eng.unpark_at(p, eng.now, value="hello")
+            eng.sleep(0.5)  # wake fires while we are busy elsewhere
+            got.append(eng.park(p))
+
+        eng.spawn(prog, 0)
+        eng.run()
+        assert got == ["hello"]
+
+    def test_double_unpark_is_error(self):
+        eng = Engine(fast_wakes=True)
+
+        def prog():
+            p = eng.make_parker("dup")
+            eng.unpark_at(p, eng.now + 1.0, value=1)
+            eng.unpark_at(p, eng.now + 2.0, value=2)
+            eng.park(p)
+            eng.sleep(5.0)
+
+        eng.spawn(prog, 0)
+        with pytest.raises(SimError):
+            eng.run()
+
+    def test_relay_hands_off_between_ranks(self):
+        # Two ranks alternating sleeps: the relay path passes the baton
+        # rank-to-rank; order and final clock must match legacy exactly.
+        def trace(fast):
+            eng = Engine(fast_wakes=fast)
+            order = []
+
+            def mk(rank):
+                def prog():
+                    for _ in range(20):
+                        eng.sleep(1.0 + rank * 0.001)
+                        order.append((rank, round(eng.now, 6)))
+                return prog
+
+            for r in range(3):
+                eng.spawn(mk(r), r)
+            makespan = eng.run()
+            return makespan, order
+
+        assert trace(True) == trace(False)
+
+
+class TestCancelCompaction:
+    def test_cancelled_timeouts_do_not_accumulate(self):
+        # The FT drivers' heartbeat pattern: schedule a timeout, cancel
+        # it, repeat.  Without compaction the heap grows linearly with
+        # the number of cancels; with it the pending queue stays small.
+        eng = Engine(fast_wakes=True)
+        n = 5000
+
+        def prog():
+            for i in range(n):
+                ev = eng.schedule(eng.now + 1000.0 + i, lambda: None)
+                eng.cancel(ev)
+                if i % 100 == 0:
+                    eng.sleep(0.001)
+            # All cancels are pending by now; the queue must be bounded
+            # by the live events, not the cancel count.
+            assert len(eng._queue) + len(eng._ready) < n // 10
+
+        eng.spawn(prog, 0)
+        eng.run()
+
+    def test_cancel_then_fire_is_noop(self):
+        eng = Engine(fast_wakes=True)
+        fired = []
+
+        def prog():
+            ev = eng.schedule(eng.now + 1.0, lambda: fired.append(1))
+            eng.cancel(ev)
+            eng.cancel(ev)  # double-cancel must not corrupt the counter
+            eng.sleep(2.0)
+
+        eng.spawn(prog, 0)
+        eng.run()
+        assert fired == []
+
+    def test_legacy_mode_cancel_still_works(self):
+        eng = Engine(fast_wakes=False)
+        fired = []
+
+        def prog():
+            keep = eng.schedule(eng.now + 1.0, lambda: fired.append("keep"))
+            drop = eng.schedule(eng.now + 1.0, lambda: fired.append("drop"))
+            eng.cancel(drop)
+            del keep
+            eng.sleep(2.0)
+
+        eng.spawn(prog, 0)
+        eng.run()
+        assert fired == ["keep"]

@@ -108,27 +108,36 @@ class TestWordIndexDna:
         assert len(spos) < len(q) - 10
 
 
+def trigger_pairs(trig):
+    """(qpos, spos) ndarray pair -> list of (qpos, spos) tuples."""
+    tq, ts = trig
+    return list(zip(tq.tolist(), ts.tolist()))
+
+
 class TestTwoHit:
     def test_pair_within_window_triggers(self):
         spos = np.array([0, 10])
         qpos = np.array([5, 15])  # same diagonal 5
         trig = two_hit_triggers(spos, qpos, window=40, word_size=3)
-        assert trig == [(15, 10)]
+        assert trigger_pairs(trig) == [(15, 10)]
 
     def test_overlapping_pair_does_not_trigger(self):
         spos = np.array([0, 2])
         qpos = np.array([5, 7])  # distance 2 < word_size
-        assert two_hit_triggers(spos, qpos, window=40, word_size=3) == []
+        trig = two_hit_triggers(spos, qpos, window=40, word_size=3)
+        assert trigger_pairs(trig) == []
 
     def test_beyond_window_does_not_trigger(self):
         spos = np.array([0, 100])
         qpos = np.array([5, 105])
-        assert two_hit_triggers(spos, qpos, window=40, word_size=3) == []
+        trig = two_hit_triggers(spos, qpos, window=40, word_size=3)
+        assert trigger_pairs(trig) == []
 
     def test_different_diagonals_do_not_pair(self):
         spos = np.array([0, 10])
         qpos = np.array([5, 16])  # diagonals 5 and 6
-        assert two_hit_triggers(spos, qpos, window=40, word_size=3) == []
+        trig = two_hit_triggers(spos, qpos, window=40, word_size=3)
+        assert trigger_pairs(trig) == []
 
     def test_dense_identity_run_triggers(self):
         """Consecutive overlapping hits (distance 1) must still produce
@@ -136,20 +145,21 @@ class TestTwoHit:
         n = 30
         spos = np.arange(n)
         qpos = np.arange(n)
-        trig = two_hit_triggers(spos, qpos, window=40, word_size=3)
+        tq, _ts = two_hit_triggers(spos, qpos, window=40, word_size=3)
         # every position >= word_size has an earlier hit at distance in
         # [3, 40]
-        assert len(trig) == n - 3
+        assert len(tq) == n - 3
 
     def test_empty_input(self):
-        assert two_hit_triggers(np.array([]), np.array([]), window=40,
-                                word_size=3) == []
+        trig = two_hit_triggers(np.array([]), np.array([]), window=40,
+                                word_size=3)
+        assert trigger_pairs(trig) == []
 
     def test_one_hit_mode_triggers_everything(self):
         spos = np.array([3, 1])
         qpos = np.array([7, 2])
         trig = one_hit_triggers(spos, qpos)
-        assert sorted(trig) == [(2, 1), (7, 3)]
+        assert sorted(trigger_pairs(trig)) == [(2, 1), (7, 3)]
 
     @given(
         st.lists(
@@ -167,7 +177,11 @@ class TestTwoHit:
         else:
             spos = np.array([], dtype=np.int64)
             qpos = np.array([], dtype=np.int64)
-        trig = set(two_hit_triggers(spos, qpos, window=40, word_size=3))
+        trig = set(
+            trigger_pairs(
+                two_hit_triggers(spos, qpos, window=40, word_size=3)
+            )
+        )
         expected = set()
         for sp, qp in pairs:
             d = qp - sp
