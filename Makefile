@@ -6,17 +6,21 @@
 #                     seeds (slower; exercises FaultPlan.random + the
 #                     exhaustive kill-subset enumeration)
 #   make report     - assemble archived benchmark tables
-#   make bench-json - run the table1/fig3a/np128 sweep plus the kernel
-#                     scenarios with tracing on and write BENCH_pr6.json
-#                     (slow; see OBSERVABILITY.md §6, PERFORMANCE.md)
+#   make bench-json - run the table1/fig3a/np128/service sweep plus the
+#                     kernel scenarios with tracing on and write
+#                     BENCH_pr7.json (slow; see OBSERVABILITY.md §6,
+#                     PERFORMANCE.md)
 #   make perf-smoke - CI-sized wall-clock gate: quick bench under a hard
 #                     host-time budget, then diff against the committed
-#                     quick baseline (BENCH_pr6_quick.json)
+#                     quick baseline (BENCH_pr7_quick.json)
+#   make service-smoke - online-service smoke: Poisson arrivals at
+#                     np=16 under a wall-clock budget, latency table +
+#                     byte-identity against the serial oracle
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos report bench-json perf-smoke
+.PHONY: test chaos report bench-json perf-smoke service-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,11 +32,15 @@ report:
 	$(PYTHON) -m repro report
 
 bench-json:
-	$(PYTHON) -m repro.obs.bench --out BENCH_pr6.json
-	$(PYTHON) -m repro.obs.bench --quick --out BENCH_pr6_quick.json
+	$(PYTHON) -m repro.obs.bench --out BENCH_pr7.json
+	$(PYTHON) -m repro.obs.bench --quick --out BENCH_pr7_quick.json
 
 perf-smoke:
 	$(PYTHON) -m repro.obs.bench --quick --host-budget 120 \
 		--out /tmp/perf_smoke.json
-	$(PYTHON) -m repro.obs.compare BENCH_pr6_quick.json \
+	$(PYTHON) -m repro.obs.compare BENCH_pr7_quick.json \
 		/tmp/perf_smoke.json --host-threshold 3.0
+
+service-smoke:
+	$(PYTHON) -m repro service --nprocs 16 --rate 0.2 --max-wave 4 \
+		--verify-oracle --host-budget 60

@@ -185,6 +185,115 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_service(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.common import (
+        ExperimentWorkload,
+        run_service_raw,
+    )
+    from repro.platforms import PLATFORMS
+    from repro.service import ServiceConfig
+    from repro.simmpi import FaultPlan
+    from repro.workloads import SynthSpec
+
+    faults = None
+    if args.faults is not None:
+        try:
+            faults = FaultPlan.parse(args.faults)
+        except ValueError as e:
+            print(f"bad --faults spec: {e}", file=sys.stderr)
+            return 2
+    for opt, path in (("--trace", args.trace),
+                      ("--metrics-json", args.metrics_json)):
+        if path is None:
+            continue
+        parent = pathlib.Path(path).resolve().parent
+        if not parent.is_dir():
+            print(f"bad {opt} path: directory does not exist: {parent}",
+                  file=sys.stderr)
+            return 2
+    trace_text = None
+    if args.arrivals is not None:
+        trace_text = pathlib.Path(args.arrivals).read_text()
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    wl = ExperimentWorkload(
+        db_spec=SynthSpec(
+            num_sequences=args.db_sequences, mean_length=args.mean_length,
+        ),
+        query_bytes=args.query_bytes,
+    )
+    scfg = ServiceConfig(
+        max_wave=args.max_wave,
+        admission_delay=args.admission_delay,
+        priority=not args.no_priority,
+        interactive_max_len=args.interactive_max_len,
+    )
+    platform = PLATFORMS[args.platform]
+    t0 = time.perf_counter()
+    sres, store, cfg = run_service_raw(
+        args.nprocs, wl, platform,
+        rate=args.rate, arrival_seed=args.seed, trace_text=trace_text,
+        service=scfg, faults=faults, tracer=tracer,
+    )
+    host_s = time.perf_counter() - t0
+    result = sres.result
+    lat = sres.latency
+    print(
+        f"service on {platform.name}, {args.nprocs} processes "
+        f"({lat['all']['count']} queries, {sres.waves} waves, "
+        f"{'trace' if trace_text is not None else f'poisson rate={args.rate}/s'}"
+        f", priority={'on' if scfg.priority else 'off'})"
+    )
+    rows = [("all", lat["all"])] + sorted(lat["lanes"].items())
+    print(f"  {'lane':<12} {'n':>5} {'p50':>9} {'p95':>9} {'p99':>9} "
+          f"{'mean':>9} {'max':>9}")
+    for name, s in rows:
+        print(f"  {name:<12} {s['count']:>5} {s['p50_s']:>9.3f} "
+              f"{s['p95_s']:>9.3f} {s['p99_s']:>9.3f} "
+              f"{s['mean_s']:>9.3f} {s['max_s']:>9.3f}")
+    print(f"  span {lat['span_s']:.2f} s, throughput "
+          f"{lat['throughput_qps']:.3f} q/s, makespan "
+          f"{result.makespan:.2f} s (host {host_s:.1f} s)")
+    print(f"  report: {store.size(cfg.output_path):,} bytes at "
+          f"'{cfg.output_path}' (virtual filesystem)")
+    if faults is not None:
+        from repro.parallel import fault_summary
+
+        print(fault_summary(result) or
+              "faults: none injected, none detected")
+    if args.verify_oracle:
+        from repro.parallel import run_serial_reference
+
+        oracle = run_serial_reference(store, cfg, output_path="_oracle.out")
+        if sres.report == oracle:
+            print("  oracle: service report is byte-identical to the "
+                  "serial reference")
+        else:
+            print("  oracle: MISMATCH against the serial reference",
+                  file=sys.stderr)
+            return 1
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, result.events, result.nprocs)
+        print(f"  trace: {len(result.events)} events -> {args.trace}")
+    if args.metrics_json is not None:
+        from repro.obs import write_run_metrics
+
+        write_run_metrics(args.metrics_json, result, program="service")
+        print(f"  metrics: -> {args.metrics_json}")
+    if args.host_budget is not None and host_s > args.host_budget:
+        print(f"host budget exceeded: {host_s:.1f} s > "
+              f"{args.host_budget:.1f} s", file=sys.stderr)
+        return 3
+    return 0
+
+
 _EXPERIMENTS = {
     "table1": ("repro.experiments.table1", "run_table1", "render_table1"),
     "table2": ("repro.experiments.table2", "run_table2", None),
@@ -296,6 +405,55 @@ def build_parser() -> argparse.ArgumentParser:
         "maxima, counters, critical-path attribution) to FILE",
     )
     m.set_defaults(func=_cmd_simulate)
+
+    v = sub.add_parser(
+        "service",
+        help="online query service on a simulated cluster "
+        "(streaming arrivals, admission batching, latency SLOs)",
+    )
+    v.add_argument("--nprocs", type=int, default=16)
+    v.add_argument("--platform", choices=["altix", "blade"], default="altix")
+    v.add_argument("--db-sequences", type=int, default=300)
+    v.add_argument("--mean-length", type=int, default=200)
+    v.add_argument("--query-bytes", type=int, default=6000)
+    v.add_argument("--rate", type=float, default=0.1,
+                   help="Poisson arrival rate in queries per virtual "
+                   "second (default 0.1)")
+    v.add_argument("--seed", type=int, default=0,
+                   help="arrival-stream seed (default 0)")
+    v.add_argument("--arrivals", default=None, metavar="FILE",
+                   help="replay an arrival trace file instead of a "
+                   "Poisson stream ('<arrival> <query-index> [lane]' "
+                   "per line)")
+    v.add_argument("--max-wave", type=int, default=8,
+                   help="admission batch size (default 8)")
+    v.add_argument("--admission-delay", type=float, default=20.0,
+                   help="max virtual seconds a queued query waits before "
+                   "a wave departs anyway (default 20)")
+    v.add_argument("--no-priority", action="store_true",
+                   help="disable the interactive priority lane (single "
+                   "FIFO admission)")
+    v.add_argument("--interactive-max-len", type=int, default=120,
+                   help="sequences up to this length ride the "
+                   "interactive lane (default 120)")
+    v.add_argument("--faults", default=None, metavar="SPEC",
+                   help="fault-injection plan (see FAULTS.md); the "
+                   "service adopts a dead worker's fragments and "
+                   "re-searches the in-flight wave")
+    v.add_argument("--verify-oracle", action="store_true",
+                   help="also run the serial reference and fail unless "
+                   "the service report is byte-identical")
+    v.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a Chrome/Perfetto trace (EV_QUERY spans "
+                   "show per-query latency)")
+    v.add_argument("--metrics-json", default=None, metavar="FILE",
+                   help="write machine-readable run metrics including "
+                   "the service latency section")
+    v.add_argument("--host-budget", type=float, default=None,
+                   metavar="SECONDS",
+                   help="exit 3 if the run needs more wall-clock than "
+                   "this (CI smoke guard)")
+    v.set_defaults(func=_cmd_service)
 
     e = sub.add_parser("experiment", help="run a paper table/figure harness")
     e.add_argument("which", choices=sorted(_EXPERIMENTS))

@@ -176,6 +176,49 @@ def run_program_raw(
     return breakdown_from_run(program, result), result, store, cfg
 
 
+def run_service_raw(
+    nprocs: int,
+    wl: ExperimentWorkload,
+    platform: PlatformSpec = ORNL_ALTIX,
+    *,
+    rate: float = 0.1,
+    arrival_seed: int = 0,
+    trace_text: str | None = None,
+    service=None,
+    config_overrides: dict | None = None,
+    faults: FaultPlan | None = None,
+    tracer=None,
+):
+    """Stage a workload and run the online service over it.
+
+    Queries arrive as a Poisson stream at ``rate`` queries per virtual
+    second (or replay ``trace_text`` when given — see
+    :func:`repro.service.trace_arrivals`).  Returns
+    ``(service_result, store, cfg)``; the report written to
+    ``cfg.output_path`` is byte-identical to the serial oracle over the
+    same records.
+    """
+    from repro.service import (
+        poisson_arrivals,
+        run_service,
+        trace_arrivals,
+    )
+
+    _db, queries = build_workload(wl)
+    store, cfg = make_store(wl)
+    if config_overrides:
+        cfg = replace(cfg, **config_overrides)
+    if trace_text is not None:
+        jobs = trace_arrivals(trace_text, queries)
+    else:
+        jobs = poisson_arrivals(queries, rate=rate, seed=arrival_seed)
+    sres = run_service(
+        nprocs, store, cfg, jobs,
+        service=service, platform=platform, faults=faults, tracer=tracer,
+    )
+    return sres, store, cfg
+
+
 def format_table(
     title: str,
     headers: list[str],

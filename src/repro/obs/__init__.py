@@ -22,12 +22,14 @@ time, so traced and untraced runs produce identical results.
 """
 
 from repro.obs.events import (
+    EV_CKPT,
     EV_COLL,
     EV_FAULT,
     EV_IO,
     EV_IO_COLL,
     EV_KILL,
     EV_PHASE,
+    EV_QUERY,
     EV_RECV,
     EV_SEND,
     EV_STREAMS,
@@ -35,6 +37,12 @@ from repro.obs.events import (
     SCHEDULER_RANK,
     SPAN_KINDS,
     Event,
+)
+from repro.obs.latency import (
+    PERCENTILES,
+    flatten_latency,
+    latency_summary,
+    percentile,
 )
 from repro.obs.critical_path import (
     CriticalPath,
@@ -55,16 +63,19 @@ from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.tracer import Tracer
 
 __all__ = [
+    "EV_CKPT",
     "EV_COLL",
     "EV_FAULT",
     "EV_IO",
     "EV_IO_COLL",
     "EV_KILL",
     "EV_PHASE",
+    "EV_QUERY",
     "EV_RECV",
     "EV_SEND",
     "EV_STREAMS",
     "EV_WAIT",
+    "PERCENTILES",
     "SCHEDULER_RANK",
     "SPAN_KINDS",
     "CriticalPath",
@@ -77,6 +88,9 @@ __all__ = [
     "breakdown_from_events",
     "chrome_trace",
     "critical_path",
+    "flatten_latency",
+    "latency_summary",
+    "percentile",
     "phase_seconds_from_events",
     "render_bottleneck_table",
     "run_metrics",

@@ -1,7 +1,9 @@
-"""Emit the machine-readable benchmark file (``BENCH_pr6.json``).
+"""Emit the machine-readable benchmark file (``BENCH_pr7.json``).
 
 Runs the paper-regime experiments — the Table-1 32-process comparison,
-the Figure-3(a) scalability sweep, and a large np=128 point — with
+the Figure-3(a) scalability sweep, a large np=128 point, and the
+online-service scenario (Poisson arrivals, priority lane on/off, with
+p50/p95/p99 latency and throughput in a ``latency`` section) — with
 metrics and tracing on, and stores each run's
 :func:`repro.obs.export.run_metrics` dict (makespan, per-phase maxima,
 counter totals, makespan attribution, critical-path decomposition)
@@ -27,9 +29,9 @@ DP stage is shared scalar code, so its speedup is lower).
 
 The file is the comparison baseline for :mod:`repro.obs.compare`::
 
-    python -m repro.obs.bench --out BENCH_pr6.json          # full (slow)
+    python -m repro.obs.bench --out BENCH_pr7.json          # full (slow)
     python -m repro.obs.bench --quick --out /tmp/now.json   # CI-sized
-    python -m repro.obs.compare BENCH_pr6.json /tmp/now.json
+    python -m repro.obs.compare BENCH_pr7.json /tmp/now.json
 
 ``--quick`` shrinks the workload, the process counts, and the kernel
 databases so the sweep finishes in seconds; quick files are only
@@ -77,6 +79,27 @@ QUICK_QUERY_BYTES = 4_000
 KERNEL_FULL = (("blastn", 10_000), ("blastp", 10_000))
 KERNEL_QUICK = (("blastn", 1_000), ("blastp", 1_000))
 KERNEL_QUERIES = 4
+
+#: Online-service scenario: a Poisson arrival stream against the warm
+#: resident cluster, once with the interactive priority lane and once
+#: as a single FIFO.  The two runs share the arrival seed, so their
+#: ``latency.lanes.interactive.p95_s`` columns are directly comparable
+#: (the priority lane's should be lower — that is the point).
+SERVICE_NP = 16
+SERVICE_NP_QUICK = 8
+#: Arrival rate is tuned so the queue oversubscribes ``max_wave``
+#: (otherwise every queued query rides the next wave and priority
+#: cannot matter) without saturating the cluster (where the forced-scan
+#: starvation bound floods waves and drowns the interactive lane).
+SERVICE_RATE = 0.2
+SERVICE_RATE_QUICK = 0.5
+SERVICE_SEED = 7
+SERVICE_MAX_WAVE = 4
+SERVICE_MAX_SCAN_DEFER = 10
+SERVICE_ADMISSION_DELAY = 20.0
+#: The workload's sampled queries run 160-340 residues; 210 puts
+#: roughly the shortest third on the interactive lane.
+SERVICE_INTERACTIVE_MAX_LEN = 210
 
 
 def kernel_scenarios(
@@ -166,6 +189,39 @@ def bench_document(
                     f"host {host_s:.2f}s, "
                     f"{len(result.events or [])} events"
                 )
+    service_np = SERVICE_NP_QUICK if quick else SERVICE_NP
+    service_rate = SERVICE_RATE_QUICK if quick else SERVICE_RATE
+    for label, priority in (("prio", True), ("fifo", False)):
+        from repro.experiments.common import run_service_raw
+        from repro.service import ServiceConfig
+
+        tracer = Tracer() if trace else None
+        t0 = time.perf_counter()
+        sres, _store, _cfg = run_service_raw(
+            service_np, wl, ORNL_ALTIX,
+            rate=service_rate, arrival_seed=SERVICE_SEED,
+            service=ServiceConfig(
+                priority=priority,
+                max_wave=SERVICE_MAX_WAVE,
+                max_scan_defer=SERVICE_MAX_SCAN_DEFER,
+                interactive_max_len=SERVICE_INTERACTIVE_MAX_LEN,
+                admission_delay=SERVICE_ADMISSION_DELAY,
+            ),
+            tracer=tracer,
+        )
+        host_s = time.perf_counter() - t0
+        name = f"service-{label}/np{service_np}"
+        runs[name] = run_metrics(sres.result, program="service")
+        runs[name]["host_s"] = host_s
+        if verbose:
+            lat = sres.latency
+            print(
+                f"{name}: {lat['all']['count']} queries in "
+                f"{sres.waves} waves, interactive p95 "
+                f"{lat['lanes'].get('interactive', {}).get('p95_s', 0.0):.1f}s,"
+                f" throughput {lat['throughput_qps']:.3f} q/s, "
+                f"host {host_s:.2f}s"
+            )
     return {
         "meta": {
             "source": "repro.obs.bench",
@@ -173,6 +229,14 @@ def bench_document(
             "process_counts": list(counts),
             "query_bytes": wl.query_bytes,
             "scheduler_fast_wakes": Engine.FAST_WAKES_DEFAULT,
+            "service": {
+                "nprocs": service_np,
+                "rate": service_rate,
+                "seed": SERVICE_SEED,
+                "max_wave": SERVICE_MAX_WAVE,
+                "max_scan_defer": SERVICE_MAX_SCAN_DEFER,
+                "interactive_max_len": SERVICE_INTERACTIVE_MAX_LEN,
+            },
         },
         "runs": runs,
         "kernel": kernel,
@@ -207,7 +271,7 @@ def main(argv: list[str] | None = None) -> int:
             "write bench JSON."
         ),
     )
-    ap.add_argument("--out", default="BENCH_pr6.json")
+    ap.add_argument("--out", default="BENCH_pr7.json")
     ap.add_argument("--quick", action="store_true",
                     help="small workload + few process counts (CI)")
     ap.add_argument("--no-trace", action="store_true",

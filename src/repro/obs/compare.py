@@ -22,12 +22,20 @@ from dataclasses import dataclass
 
 #: Scalar keys compared per run, all "lower is better".
 COMPARED_KEYS = ("makespan",)
-#: Nested dicts compared key-by-key, all "lower is better".
-COMPARED_SECTIONS = ("phases", "critical_path", "attribution_rank_max")
+#: Nested dicts compared key-by-key, all "lower is better" (the
+#: ``latency`` section's throughput columns are the exception — see
+#: :func:`_higher_is_better`).
+COMPARED_SECTIONS = ("phases", "critical_path", "attribution_rank_max",
+                     "latency")
 #: Wall-clock keys, compared with the (looser) host threshold: host
 #: times are real measurements on whatever machine ran the bench, so
 #: they carry scheduling noise that virtual-time keys do not.
 HOST_KEYS = ("host_s", "scalar_host_s", "batch_host_s")
+
+
+def _higher_is_better(key: str) -> bool:
+    """Latency-section throughput grows when the system improves."""
+    return key.endswith("throughput_qps")
 
 
 @dataclass(frozen=True)
@@ -45,6 +53,8 @@ class Delta:
 
     @property
     def regression(self) -> bool:
+        if _higher_is_better(self.key):
+            return self.new < self.old
         return self.new > self.old
 
     def render(self) -> str:

@@ -52,6 +52,13 @@ Kinds
     is ``save`` or ``restore``, args are ``(path, payload_nbytes)``.
     The span covers the crash-consistent write (or validated read), so
     the critical-path walker can attribute checkpoint overhead.
+``query``
+    span — one query's life inside the online service
+    (:mod:`repro.service`): ``t0`` is its arrival, ``t1`` its report
+    completion, so the duration *is* the query's latency.  ``name`` is
+    the admission lane (``interactive``/``scan``), args are
+    ``(qid, wave, section_nbytes)``.  Emitted by the service master
+    (its rank), not consumed by the critical-path walker.
 
 The scheduler (not a rank) emits some events; those carry
 ``rank == SCHEDULER_RANK``.
@@ -72,13 +79,14 @@ EV_STREAMS = "fs.streams"
 EV_FAULT = "fault"
 EV_KILL = "fault.kill"
 EV_CKPT = "ckpt"
+EV_QUERY = "query"
 
 #: Rank used for events emitted from scheduler actions (no rank thread).
 SCHEDULER_RANK = -1
 
 #: Kinds whose events are spans (``t1 >= t0``); the rest are instants.
 SPAN_KINDS = frozenset(
-    {EV_WAIT, EV_IO, EV_IO_COLL, EV_PHASE, EV_COLL, EV_CKPT}
+    {EV_WAIT, EV_IO, EV_IO_COLL, EV_PHASE, EV_COLL, EV_CKPT, EV_QUERY}
 )
 
 

@@ -121,6 +121,17 @@ def run_metrics(result, *, program: str | None = None) -> dict:
         d["global_counters"] = dict(
             result.metrics.get("global", {}).get("counters", {})
         )
+        # Service runs publish per-query latency as `service.*` gauges
+        # (see repro.service); lift them into a `latency` section so the
+        # bench files carry p50/p95/p99 + throughput columns.
+        gauges = result.metrics.get("global", {}).get("gauges", {})
+        latency = {
+            name[len("service."):]: value
+            for name, value in sorted(gauges.items())
+            if name.startswith("service.")
+        }
+        if latency:
+            d["latency"] = latency
     if result.events is not None:
         from repro.obs.critical_path import attribute_makespan, critical_path
 

@@ -1,0 +1,87 @@
+"""Per-query latency statistics for the online service.
+
+The service (:mod:`repro.service`) records one latency sample — virtual
+seconds from arrival to report completion — per admitted query, tagged
+with its admission lane.  This module turns those samples into the
+p50/p95/p99 + throughput summary that lands in the metrics registry
+(``service.*`` gauges), the bench files and the CLI latency table.
+
+Percentiles use the *nearest-rank* definition (the sample at index
+``ceil(p/100 * n) - 1`` of the sorted list): deterministic, exact on
+small sample sets, and it never invents values that were not observed —
+the right choice for bit-reproducible virtual-time measurements.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: The percentile columns every latency summary carries.
+PERCENTILES = (50, 95, 99)
+
+
+def percentile(samples: list[float], p: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0 for an empty list)."""
+    if not samples:
+        return 0.0
+    if not 0 < p <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {p}")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _stats(samples: list[float]) -> dict[str, float]:
+    d: dict[str, float] = {"count": len(samples)}
+    for p in PERCENTILES:
+        d[f"p{p}_s"] = percentile(samples, p)
+    d["mean_s"] = sum(samples) / len(samples) if samples else 0.0
+    d["max_s"] = max(samples) if samples else 0.0
+    return d
+
+
+def latency_summary(
+    samples_by_lane: dict[str, list[float]], span_s: float
+) -> dict:
+    """The full latency document for one service run.
+
+    ``samples_by_lane`` maps lane name (``interactive``/``scan``) to
+    its latency samples; ``span_s`` is the virtual time from the first
+    arrival to the last completion (the sustained-throughput
+    denominator).  An empty run yields an all-zero summary rather than
+    an error — the shape is stable for exporters and comparisons.
+    """
+    every = [s for lane in sorted(samples_by_lane)
+             for s in samples_by_lane[lane]]
+    total = len(every)
+    return {
+        "queries": total,
+        "span_s": span_s,
+        "throughput_qps": (total / span_s) if span_s > 0 else 0.0,
+        "all": _stats(every),
+        "lanes": {
+            lane: _stats(samples)
+            for lane, samples in sorted(samples_by_lane.items())
+        },
+    }
+
+
+def flatten_latency(summary: dict) -> dict[str, float]:
+    """Scalar ``key -> value`` view of a latency summary.
+
+    The keys are the gauge names the service publishes (minus the
+    ``service.`` prefix) and the column names the bench comparison
+    walks: ``p95_s``, ``throughput_qps``, ``lanes.interactive.p95_s``,
+    ...
+    """
+    flat: dict[str, float] = {
+        "queries": float(summary["queries"]),
+        "span_s": float(summary["span_s"]),
+        "throughput_qps": float(summary["throughput_qps"]),
+    }
+    for key, val in summary["all"].items():
+        flat[key] = float(val)
+    for lane, stats in summary.get("lanes", {}).items():
+        for key, val in stats.items():
+            flat[f"lanes.{lane}.{key}"] = float(val)
+    return flat

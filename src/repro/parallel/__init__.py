@@ -36,6 +36,14 @@ from repro.parallel.fragments import (
 from repro.parallel.assignment import GreedyAssigner
 from repro.parallel.results import AlignmentMeta, merge_select
 from repro.parallel.serial import run_serial_reference
+from repro.parallel.warmdb import (
+    DbFingerprint,
+    check_fingerprint,
+    fingerprint_database,
+    load_fragment_pieces,
+    partition_database,
+    search_loaded_pieces,
+)
 from repro.parallel.mpiblast import run_mpiblast
 from repro.parallel.pioblast import run_pioblast
 from repro.parallel.queryseg import run_queryseg
@@ -62,6 +70,12 @@ __all__ = [
     "AlignmentMeta",
     "merge_select",
     "run_serial_reference",
+    "DbFingerprint",
+    "check_fingerprint",
+    "fingerprint_database",
+    "load_fragment_pieces",
+    "partition_database",
+    "search_loaded_pieces",
     "run_mpiblast",
     "run_pioblast",
     "run_queryseg",

@@ -68,13 +68,16 @@ from repro.parallel.checkpoint import (
 )
 from repro.parallel.config import ParallelConfig
 from repro.blast.formatdb import DatabaseVolume
-from repro.parallel.fragments import (
-    VolumePiece,
-    pieces_for_single_volume,
-    virtual_partition_multi,
-)
+from repro.parallel.fragments import VolumePiece
 from repro.parallel.pruning import prune_metas, score_cutlines
 from repro.parallel.results import AlignmentMeta, merge_select, meta_from_alignment
+from repro.parallel.warmdb import (
+    check_fingerprint,
+    fingerprint_database,
+    load_fragment_pieces,
+    partition_database,
+    search_loaded_pieces,
+)
 from repro.simmpi import (
     FileStore,
     FileView,
@@ -156,31 +159,15 @@ def _master(ctx: ProcContext, cfg: ParallelConfig) -> None:
     queries = read_queries_bytes(qdata)
     # Multi-volume databases (the 11 GB nt case, paper §4): read every
     # volume's index and partition over the concatenated space.
-    if ctx.fs.exists(f"{cfg.db_name}.xal"):
-        from repro.blast.formatdb import parse_alias
-
-        bases, alias_title = parse_alias(ctx.fs.read(f"{cfg.db_name}.xal"))
-    else:
-        bases, alias_title = [cfg.db_name], None
-    index_bytes: dict[str, bytes] = {}
-    indexes = []
-    for base in bases:
-        data = ctx.fs.read(
-            f"{base}.xin",
-            charge_bytes=cost.db_wire_bytes(ctx.fs.size(f"{base}.xin")),
-        )
-        index_bytes[base] = data
-        indexes.append(parse_index(data))
-    info = GlobalDbInfo(
-        alias_title or indexes[0].title,
-        sum(ix.nseqs for ix in indexes),
-        sum(ix.total_letters for ix in indexes),
-    )
-    if len(bases) == 1:
-        frags = pieces_for_single_volume(indexes[0], cfg.db_name, nfrag)
-    else:
-        frags = virtual_partition_multi(indexes, bases, nfrag)
+    info, frags, index_bytes = partition_database(ctx, cfg, nfrag)
     comm.bcast((queries, info, frags, index_bytes), root=0)
+    # Multi-round runs keep using the fragment map across rounds; pin
+    # the volume layout it was computed from (see repro.parallel.warmdb).
+    batches = cfg.query_batches(len(queries))
+    db_fp = (
+        fingerprint_database(ctx.fs.store, cfg.db_name)
+        if len(batches) > 1 else None
+    )
 
     engine = BlastSearch(cfg.search)
     writer = writer_for(engine, info)
@@ -191,7 +178,11 @@ def _master(ctx: ProcContext, cfg: ParallelConfig) -> None:
 
     # ---- merge + output, one round per query batch (§5 batching) ----
     offset = 0
-    for batch_no, (qlo, qhi) in enumerate(cfg.query_batches(len(queries))):
+    for batch_no, (qlo, qhi) in enumerate(batches):
+        if db_fp is not None and batch_no > 0:
+            check_fingerprint(
+                ctx.fs.store, db_fp, where=f"query batch {batch_no}"
+            )
         if cfg.early_score_pruning:
             comm.allreduce(
                 {},
@@ -285,40 +276,7 @@ def _worker(ctx: ProcContext, cfg: ParallelConfig) -> None:
     loaded: list[list[tuple[VolumePiece, DatabaseVolume]]] = []
     with ctx.phase("input"):
         for pieces in mine:
-            frag_vols = []
-            for piece in pieces:
-                fx_hr = MPIFile(comm, ctx.fs, f"{piece.base_name}.xhr")
-                fx_sq = MPIFile(comm, ctx.fs, f"{piece.base_name}.xsq")
-                if cfg.parallel_input:
-                    xhr = fx_hr.read_at(
-                        *piece.xhr_range,
-                        charge_bytes=cost.db_wire_bytes(piece.xhr_range[1]),
-                    )
-                    xsq = fx_sq.read_at(
-                        *piece.xsq_range,
-                        charge_bytes=cost.db_wire_bytes(piece.xsq_range[1]),
-                    )
-                else:
-                    # Ablation: every worker reads the *whole* files and
-                    # slices locally (no range-based parallel input).
-                    hr_size = ctx.fs.size(f"{piece.base_name}.xhr")
-                    sq_size = ctx.fs.size(f"{piece.base_name}.xsq")
-                    whole_hr = fx_hr.read_at(
-                        0, hr_size, charge_bytes=cost.db_wire_bytes(hr_size)
-                    )
-                    whole_sq = fx_sq.read_at(
-                        0, sq_size, charge_bytes=cost.db_wire_bytes(sq_size)
-                    )
-                    h0, hn = piece.xhr_range
-                    s0, sn = piece.xsq_range
-                    xhr = whole_hr[h0 : h0 + hn]
-                    xsq = whole_sq[s0 : s0 + sn]
-                vol = DatabaseVolume(
-                    indexes[piece.base_name], xhr, xsq,
-                    lo=piece.lo, hi=piece.hi,
-                )
-                frag_vols.append((piece, vol))
-            loaded.append(frag_vols)
+            loaded.append(load_fragment_pieces(ctx, cfg, pieces, indexes))
 
     # ---- per-batch rounds: search → cache → merge → write (§5) ----
     # The cache lives for one round only, bounding worker memory to one
@@ -477,30 +435,9 @@ def _ft_setup(ctx: ProcContext, cfg: ParallelConfig):
         cost.wire_bytes(ctx.fs.size(cfg.query_path)),
     )
     queries = read_queries_bytes(qdata)
-    if ctx.fs.exists(f"{cfg.db_name}.xal"):
-        from repro.blast.formatdb import parse_alias
-
-        bases, alias_title = parse_alias(ctx.fs.read(f"{cfg.db_name}.xal"))
-    else:
-        bases, alias_title = [cfg.db_name], None
-    index_bytes: dict[str, bytes] = {}
-    indexes = []
-    for base in bases:
-        data = _ft_read(
-            ctx, cfg, f"{base}.xin",
-            cost.db_wire_bytes(ctx.fs.size(f"{base}.xin")),
-        )
-        index_bytes[base] = data
-        indexes.append(parse_index(data))
-    info = GlobalDbInfo(
-        alias_title or indexes[0].title,
-        sum(ix.nseqs for ix in indexes),
-        sum(ix.total_letters for ix in indexes),
+    info, frags, index_bytes = partition_database(
+        ctx, cfg, nfrag, reliable=True
     )
-    if len(bases) == 1:
-        frags = pieces_for_single_volume(indexes[0], cfg.db_name, nfrag)
-    else:
-        frags = virtual_partition_multi(indexes, bases, nfrag)
     return queries, info, frags, index_bytes
 
 
@@ -915,44 +852,14 @@ def _ft_search_fragment(
     blocks under the same ids — the property that lets the master
     re-home output writes after a death.
     """
-    cost, ft = cfg.cost, cfg.ft
-    report = ctx.fault_report
-    frag_vols: list[tuple[VolumePiece, DatabaseVolume]] = []
     with ctx.phase("input"):
-        for piece in pieces:
-            fx_hr = MPIFile(ctx.comm, ctx.fs, f"{piece.base_name}.xhr")
-            fx_sq = MPIFile(ctx.comm, ctx.fs, f"{piece.base_name}.xsq")
-            xhr = fx_hr.read_at_reliable(
-                *piece.xhr_range,
-                charge_bytes=cost.db_wire_bytes(piece.xhr_range[1]),
-                attempts=ft.io_attempts, report=report,
-            )
-            xsq = fx_sq.read_at_reliable(
-                *piece.xsq_range,
-                charge_bytes=cost.db_wire_bytes(piece.xsq_range[1]),
-                attempts=ft.io_attempts, report=report,
-            )
-            vol = DatabaseVolume(
-                indexes[piece.base_name], xhr, xsq,
-                lo=piece.lo, hi=piece.hi,
-            )
-            frag_vols.append((piece, vol))
-    blist: list[bytes] = []
-    metas_per_query: list[list[AlignmentMeta]] = [[] for _ in queries]
+        frag_vols = load_fragment_pieces(
+            ctx, cfg, pieces, indexes, reliable=True
+        )
     with ctx.phase("search"):
-        for piece, volume in frag_vols:
-            per_query = search_fragment_timed(
-                ctx, engine, queries, volume, info, piece.global_base, cost
-            )
-            for qi, als in enumerate(per_query):
-                for al in als:
-                    block = writer.alignment_block(al)
-                    ctx.compute(cost.render_seconds(len(block)))
-                    lid = len(blist)
-                    blist.append(block)
-                    metas_per_query[qi].append(
-                        meta_from_alignment(al, fid, lid, len(block))
-                    )
+        blist, metas_per_query = search_loaded_pieces(
+            ctx, cfg, engine, writer, queries, info, frag_vols, fid
+        )
     blocks[fid] = blist
     return metas_per_query
 
@@ -1093,6 +1000,7 @@ def run_pioblast(
     *,
     faults: FaultPlan | None = None,
     tracer=None,
+    on_cluster=None,
 ) -> RunResult:
     """Run pioBLAST on a simulated cluster.
 
@@ -1123,4 +1031,5 @@ def run_pioblast(
         args={"config": config, "ft": ft_mode},
         faults=faults,
         tracer=tracer,
+        on_cluster=on_cluster,
     )

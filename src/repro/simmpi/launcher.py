@@ -238,6 +238,7 @@ def run(
     args: dict[str, Any] | None = None,
     faults: FaultPlan | None = None,
     tracer: Tracer | None = None,
+    on_cluster: Callable[["Cluster"], None] | None = None,
 ) -> RunResult:
     """Execute ``program`` on every rank of a fresh simulated cluster.
 
@@ -247,11 +248,17 @@ def run(
     :class:`FaultReport` is returned on the :class:`RunResult`.
     ``tracer`` enables structured event tracing (``repro.obs.Tracer``);
     the traced events come back on ``RunResult.events``.
+    ``on_cluster`` is called with the assembled :class:`Cluster` before
+    any rank starts — the hook point for out-of-band administrative
+    actions (e.g. ``cluster.engine.schedule(t, fn)`` to mutate the
+    shared store mid-run, the way an external ``formatdb`` would).
     """
     plat = platform if platform is not None else PlatformSpec()
     cluster = Cluster(
         nprocs, plat, shared_store=shared_store, faults=faults, tracer=tracer
     )
+    if on_cluster is not None:
+        on_cluster(cluster)
     ctxs = [ProcContext(cluster, r, dict(args or {})) for r in range(nprocs)]
 
     def make_body(ctx: ProcContext) -> Callable[[], None]:

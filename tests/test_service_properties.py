@@ -1,0 +1,123 @@
+"""Property tests for the online service.
+
+The load-bearing property: *whatever* the arrival times, wave sizes,
+admission delays, or lane policy, every admitted query is answered
+exactly once and the service report is byte-identical to the serial
+oracle.  The scheduler's starvation bound is checked as a pure
+data-structure property over random enqueue/departure interleavings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel import CostModel
+from repro.parallel import ParallelConfig, stage_inputs
+from repro.service import (
+    AdmissionScheduler,
+    QueryJob,
+    ServiceConfig,
+    poisson_arrivals,
+    run_service,
+)
+from repro.simmpi import FileStore
+
+
+@pytest.fixture(scope="module")
+def service_store(small_db, small_queries):
+    """One staged store shared by every hypothesis example.
+
+    Service runs only read the staged database and overwrite the output
+    path, so examples cannot interfere with each other.
+    """
+    store = FileStore()
+    cfg = ParallelConfig(cost=CostModel())
+    cfg = stage_inputs(store, small_db, small_queries, config=cfg,
+                       title="test nr")
+    return store, cfg
+
+
+@settings(max_examples=6, deadline=None)
+@given(data=st.data())
+def test_answered_exactly_once_and_oracle_identical(
+    data, service_store, small_queries, serial_reference
+):
+    store, cfg = service_store
+    n = len(small_queries)
+    arrivals = data.draw(
+        st.lists(
+            st.floats(0.0, 2.0, allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n,
+        )
+    )
+    lanes = data.draw(
+        st.lists(
+            st.sampled_from([None, "interactive", "scan"]),
+            min_size=n, max_size=n,
+        )
+    )
+    scfg = ServiceConfig(
+        max_wave=data.draw(st.integers(1, 5)),
+        admission_delay=data.draw(st.floats(0.0, 0.3)),
+        priority=data.draw(st.booleans()),
+        max_scan_defer=data.draw(st.integers(1, 4)),
+    )
+    jobs = [
+        QueryJob(qid=i, arrival=arrivals[i], record=small_queries[i],
+                 lane=lanes[i])
+        for i in range(n)
+    ]
+    res = run_service(4, store, cfg, jobs, service=scfg)
+    # answered exactly once ...
+    assert sorted(r["qid"] for r in res.per_query) == list(range(n))
+    assert res.latency["all"]["count"] == n
+    # ... with the oracle's bytes, regardless of admission order.
+    assert res.report == serial_reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    max_wave=st.integers(1, 4),
+    max_scan_defer=st.integers(1, 5),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["interactive", "scan"]),
+                  st.booleans()),
+        min_size=1, max_size=60,
+    ),
+)
+def test_scan_deferral_is_bounded(
+    small_queries, max_wave, max_scan_defer, ops
+):
+    """No scan is bypassed more than ``max_scan_defer`` waves plus the
+    waves needed to drain the forced scans queued ahead of it."""
+    sched = AdmissionScheduler(
+        ServiceConfig(max_wave=max_wave, admission_delay=0.0,
+                      max_scan_defer=max_scan_defer)
+    )
+    rec = small_queries[0]
+    n_scans = 0
+    now = 0.0
+    for i, (lane, depart) in enumerate(ops):
+        now += 1.0
+        sched.enqueue(
+            QueryJob(qid=i, arrival=0.0, record=rec, lane=lane), now
+        )
+        n_scans += lane == "scan"
+        if depart:
+            sched.next_wave(now)
+    while sched.pending:
+        now += 1.0
+        sched.next_wave(now)
+    drain_waves = -(-n_scans // max_wave)  # ceil
+    assert sched.max_deferred_seen <= max_scan_defer + drain_waves
+
+
+@settings(max_examples=30, deadline=None)
+@given(rate=st.floats(0.1, 20.0), seed=st.integers(0, 1000))
+def test_poisson_streams_replay(small_queries, rate, seed):
+    a = poisson_arrivals(small_queries, rate=rate, seed=seed)
+    b = poisson_arrivals(small_queries, rate=rate, seed=seed)
+    assert a == b
+    assert all(x.arrival < y.arrival for x, y in zip(a, a[1:]))
