@@ -8,11 +8,11 @@
 #   make report     - assemble archived benchmark tables
 #   make bench-json - run the table1/fig3a/np128/service sweep plus the
 #                     kernel scenarios with tracing on and write
-#                     BENCH_pr7.json (slow; see OBSERVABILITY.md §6,
+#                     BENCH_pr8.json (slow; see OBSERVABILITY.md §6,
 #                     PERFORMANCE.md)
 #   make perf-smoke - CI-sized wall-clock gate: quick bench under a hard
 #                     host-time budget, then diff against the committed
-#                     quick baseline (BENCH_pr7_quick.json)
+#                     quick baseline (BENCH_pr8_quick.json)
 #   make service-smoke - online-service smoke: Poisson arrivals at
 #                     np=16 under a wall-clock budget, latency table +
 #                     byte-identity against the serial oracle
@@ -32,13 +32,13 @@ report:
 	$(PYTHON) -m repro report
 
 bench-json:
-	$(PYTHON) -m repro.obs.bench --out BENCH_pr7.json
-	$(PYTHON) -m repro.obs.bench --quick --out BENCH_pr7_quick.json
+	$(PYTHON) -m repro.obs.bench --out BENCH_pr8.json
+	$(PYTHON) -m repro.obs.bench --quick --out BENCH_pr8_quick.json
 
 perf-smoke:
 	$(PYTHON) -m repro.obs.bench --quick --host-budget 120 \
 		--out /tmp/perf_smoke.json
-	$(PYTHON) -m repro.obs.compare BENCH_pr7_quick.json \
+	$(PYTHON) -m repro.obs.compare BENCH_pr8_quick.json \
 		/tmp/perf_smoke.json --host-threshold 3.0
 
 service-smoke:

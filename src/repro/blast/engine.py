@@ -14,7 +14,8 @@ the output a serial whole-database search produces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Protocol
 
 import numpy as np
@@ -27,13 +28,22 @@ from repro.blast.alphabet import (
     Alphabet,
 )
 from repro.blast.extend import (
+    GappedBatchStats,
+    GappedExtension,
     UngappedHit,
     extend_gapped,
+    extend_gapped_batch,
     ungapped_extend,
     ungapped_extend_batch,
 )
 from repro.blast.fasta import SeqRecord
-from repro.blast.hsp import HSP, Alignment, QueryResult, cull_contained
+from repro.blast.hsp import (
+    HSP,
+    Alignment,
+    QueryResult,
+    cull_contained,
+    hsp_from_extension,
+)
 from repro.blast.karlin import (
     effective_search_space,
     gapped_params,
@@ -74,12 +84,23 @@ class SearchParams:
     # ``False`` keeps the original per-subject scalar path — the
     # bit-identity reference the property suite compares against.
     batch: bool = True
+    # Vectorized banded gapped extension (the batched kernel's gapped
+    # stage): all seeds a slab produces run as lockstep banded
+    # wavefronts.  ``False`` is the escape hatch back to the scalar
+    # Gotoh DP per seed; results are bit-identical either way (band-edge
+    # hits widen and retry — see repro.blast.extend).
+    gapped_batch: bool = True
+    # Initial half-band width for the banded DP.  A pure performance
+    # knob: too narrow just costs widening retries, never correctness.
+    band: int = 32
 
     def __post_init__(self) -> None:
         if self.program not in ("blastp", "blastn"):
             raise ValueError(f"unsupported program {self.program!r}")
         if self.gap_open < 0 or self.gap_extend < 1:
             raise ValueError("need gap_open >= 0 and gap_extend >= 1")
+        if self.band < 1:
+            raise ValueError("band must be >= 1")
         if self.word_size < 0:
             raise ValueError("word_size must be >= 0 (0 = program default)")
         if self.expect <= 0:
@@ -100,7 +121,17 @@ class SearchParams:
 
 @dataclass
 class SearchStats:
-    """Work counters (drives the simulator's cost model)."""
+    """Work counters (drives the simulator's cost model).
+
+    ``gapped_extensions`` counts gapped DPs actually *executed*;
+    ``gapped_dedup`` counts seeds answered from the per-query memo of
+    identical ``(subject, anchor)`` extensions instead of re-running
+    the DP.  Both are path-independent (scalar and batched kernels
+    memoize identically), so they participate in the bit-identity
+    equality the property suite asserts.  The ``gapped_widenings`` /
+    ``gapped_fallbacks`` / ``gapped_peak_cells`` health counters exist
+    only on the vectorized banded path and are excluded from equality.
+    """
 
     queries: int = 0
     subjects: int = 0
@@ -109,7 +140,11 @@ class SearchStats:
     triggers: int = 0
     ungapped_extensions: int = 0
     gapped_extensions: int = 0
+    gapped_dedup: int = 0
     alignments: int = 0
+    gapped_widenings: int = field(default=0, compare=False)
+    gapped_fallbacks: int = field(default=0, compare=False)
+    gapped_peak_cells: int = field(default=0, compare=False)
 
     def merge(self, other: "SearchStats") -> None:
         self.queries += other.queries
@@ -119,7 +154,13 @@ class SearchStats:
         self.triggers += other.triggers
         self.ungapped_extensions += other.ungapped_extensions
         self.gapped_extensions += other.gapped_extensions
+        self.gapped_dedup += other.gapped_dedup
         self.alignments += other.alignments
+        self.gapped_widenings += other.gapped_widenings
+        self.gapped_fallbacks += other.gapped_fallbacks
+        self.gapped_peak_cells = max(
+            self.gapped_peak_cells, other.gapped_peak_cells
+        )
 
 
 class SequenceDatabase(Protocol):
@@ -181,6 +222,26 @@ class _FragmentScan:
         ] * len(self.slabs)
 
 
+@dataclass
+class _GapState:
+    """One subject's progress through the round-based gapped dispatcher.
+
+    ``ptr`` walks the score-sorted seed list; ``slot`` is the index of
+    the DP this subject is waiting on in the current lockstep round.
+    Holding at most one outstanding DP per subject preserves the scalar
+    rule that each seed's inside-check sees all earlier seeds' results.
+    """
+
+    si: int
+    scodes: np.ndarray
+    skey: bytes
+    hits: list
+    ptr: int = 0
+    slot: int = -1
+    gapped: list = field(default_factory=list)
+    leftovers: list = field(default_factory=list)
+
+
 class BlastSearch:
     """A configured search engine, reusable across queries and fragments."""
 
@@ -226,6 +287,15 @@ class BlastSearch:
         ext[:size, :size] = self.matrix
         self.matrix_ext = ext
         self._index_cache: dict[int, WordIndex] = {}
+        # Memo of gapped extensions within one (query x fragment) search:
+        # duplicated subjects produce identical (subject bytes, anchor)
+        # DP problems; both kernels answer repeats from here (counted as
+        # ``SearchStats.gapped_dedup``) so their stats stay equal.
+        self._gapped_memo: dict[tuple, GappedExtension] = {}
+        # Host-seconds per batched-kernel stage, accumulated across
+        # slabs/queries/fragments (scan / ungapped / gapped / render).
+        # Purely observational: repro.obs.bench reports it per scenario.
+        self.stage_times: dict[str, float] = {}
 
     # Process-wide memo of word indexes.  A WordIndex is immutable and a
     # pure function of (query, scoring config); sharing it across the
@@ -332,6 +402,7 @@ class BlastSearch:
         p = self.params
         index = self._index_for(query_index, qcodes)
         sstats = SeedStats()
+        self._gapped_memo = {}
         space = effective_search_space(
             self.stats_params, len(qcodes), db_letters, db_num_seqs
         )
@@ -468,14 +539,18 @@ class BlastSearch:
         One CSR lookup covers a whole slab of subjects; two-hit
         detection is segment-aware (:func:`batch_triggers`); the
         ungapped stage runs vectorized over every trigger point at once
-        (:func:`ungapped_extend_batch`), and only the rare survivors of
-        the gap trigger reach the scalar gapped DP.
+        (:func:`ungapped_extend_batch`); survivors of the gap trigger
+        go through the banded lockstep gapped engine
+        (:meth:`_gapped_stage_batch`, or the scalar stage when
+        ``gapped_batch`` is off).  Per-stage host seconds accumulate in
+        :attr:`stage_times`.
         """
         p = self.params
         concat, starts, lens = scan.concat, scan.starts, scan.lens
         subj_of, slabs = scan.subj_of, scan.slabs
         index = self._index_for(query_index, qcodes)
         sstats = SeedStats()
+        self._gapped_memo = {}
         space = effective_search_space(
             self.stats_params, len(qcodes), db_letters, db_num_seqs
         )
@@ -496,7 +571,9 @@ class BlastSearch:
         w = p.effective_word_size
         two_hit = p.program == "blastp"
         sstats.positions_scanned += int(lens.sum())
+        stg = self.stage_times
         for slab_i, (lo, hi) in enumerate(slabs):
+            t0 = time.perf_counter()
             slab_off = int(starts[lo])
             slab_end = int(starts[hi - 1] + lens[hi - 1]) + 1  # + sentinel
             pre = scan.codes_cache[slab_i]
@@ -510,6 +587,7 @@ class BlastSearch:
             )
             sstats.word_hits += len(cpos)
             if len(cpos) == 0:
+                stg["scan"] = stg.get("scan", 0.0) + time.perf_counter() - t0
                 continue
             cpos = cpos + slab_off
             subj = subj_of[cpos].astype(np.int64)
@@ -519,6 +597,8 @@ class BlastSearch:
                 window=p.two_hit_window, word_size=w, two_hit=two_hit,
             )
             sstats.triggers += len(tq)
+            t1 = time.perf_counter()
+            stg["scan"] = stg.get("scan", 0.0) + t1 - t0
             if len(tq) == 0:
                 continue
             # Ungapped stage in rounds: only the first live trigger of
@@ -566,6 +646,7 @@ class BlastSearch:
             bounds = np.concatenate(
                 ([0], np.cumsum(np.bincount(t_subj - lo, minlength=hi - lo)))
             )
+            slab_subjects: list[tuple[int, np.ndarray, list[UngappedHit]]] = []
             for si in np.unique(t_subj[survivor]).tolist():
                 a = int(bounds[si - lo])
                 b = int(bounds[si - lo + 1])
@@ -582,8 +663,20 @@ class BlastSearch:
                     )
                     for k in sel.tolist()
                 ]
-                hsps = self._gapped_stage(qcodes, scodes, hits, si, stats)
-                hsps = cull_contained(hsps)
+                slab_subjects.append((si, scodes, hits))
+            t2 = time.perf_counter()
+            stg["ungapped"] = stg.get("ungapped", 0.0) + t2 - t1
+            if p.gapped and p.gapped_batch:
+                hsp_map = self._gapped_stage_batch(qcodes, slab_subjects, stats)
+            else:
+                hsp_map = {
+                    si: self._gapped_stage(qcodes, scodes, hits, si, stats)
+                    for si, scodes, hits in slab_subjects
+                }
+            t3 = time.perf_counter()
+            stg["gapped"] = stg.get("gapped", 0.0) + t3 - t2
+            for si, scodes, _hits in slab_subjects:
+                hsps = cull_contained(hsp_map[si])
                 for h in hsps:
                     if h.score < min_raw:
                         continue
@@ -596,6 +689,7 @@ class BlastSearch:
                         <= p.expect
                     ):
                         alignments.append(al)
+            stg["render"] = stg.get("render", 0.0) + time.perf_counter() - t3
         if stats is not None:
             stats.subjects += nsub
             stats.letters_scanned += sstats.positions_scanned
@@ -676,8 +770,12 @@ class BlastSearch:
             ]
 
         # Gapped stage: extend each qualifying ungapped HSP, best first,
-        # skipping seeds already inside a gapped alignment.
+        # skipping seeds already inside a gapped alignment.  Duplicate
+        # (subject sequence, anchor) triples — common with replicated
+        # subjects in synthetic DBs — reuse the memoized DP result.
         ungapped_hits.sort(key=lambda h: (-h.score, h.qstart, h.sstart))
+        memo = self._gapped_memo
+        skey: bytes | None = None
         gapped: list[HSP] = []
         leftovers = []
         for h in ungapped_hits:
@@ -696,34 +794,45 @@ class BlastSearch:
             mid = (h.qstart + h.qend) // 2
             anchor_q = mid
             anchor_s = h.sstart + (mid - h.qstart)
-            ext = extend_gapped(
-                q,
-                s,
-                anchor_q,
-                anchor_s,
-                self.matrix,
-                p.gap_open,
-                p.gap_extend,
-                p.x_drop_gapped,
-            )
-            if stats is not None:
-                stats.gapped_extensions += 1
-            gapped.append(
-                HSP(
-                    subject_oid=subject_local_index,
-                    qstart=ext.qstart,
-                    qend=ext.qend,
-                    sstart=ext.sstart,
-                    send=ext.send,
-                    score=ext.score,
-                    ops=ext.ops,
+            if skey is None:
+                skey = s.tobytes()
+            key = (skey, anchor_q, anchor_s)
+            ext = memo.get(key)
+            if ext is not None:
+                if stats is not None:
+                    stats.gapped_dedup += 1
+            else:
+                ext = extend_gapped(
+                    q,
+                    s,
+                    anchor_q,
+                    anchor_s,
+                    self.matrix,
+                    p.gap_open,
+                    p.gap_extend,
+                    p.x_drop_gapped,
                 )
-            )
-        # HSPs below the gap trigger are still reported (ungapped) if
-        # they survive the E-value cutoff downstream — as NCBI BLAST
-        # does.  Under a *fragment-local* cutoff these marginal HSPs are
-        # what makes candidate volume grow with fragment count (the
-        # mpiBLAST merging-pressure mechanism, paper §5).
+                memo[key] = ext
+                if stats is not None:
+                    stats.gapped_extensions += 1
+            gapped.append(hsp_from_extension(subject_local_index, ext))
+        return self._finish_gapped(subject_local_index, gapped, leftovers)
+
+    # ------------------------------------------------------------------
+    def _finish_gapped(
+        self,
+        subject_local_index: int,
+        gapped: list[HSP],
+        leftovers: list[UngappedHit],
+    ) -> list[HSP]:
+        """Append surviving sub-trigger HSPs after the gapped pass.
+
+        HSPs below the gap trigger are still reported (ungapped) if
+        they survive the E-value cutoff downstream — as NCBI BLAST
+        does.  Under a *fragment-local* cutoff these marginal HSPs are
+        what makes candidate volume grow with fragment count (the
+        mpiBLAST merging-pressure mechanism, paper §5).
+        """
         for h in leftovers:
             inside = any(
                 g.qstart <= h.qstart
@@ -745,6 +854,108 @@ class BlastSearch:
                     )
                 )
         return gapped
+
+    # ------------------------------------------------------------------
+    def _gapped_stage_batch(
+        self,
+        q: np.ndarray,
+        subjects: list[tuple[int, np.ndarray, list[UngappedHit]]],
+        stats: SearchStats | None,
+    ) -> dict[int, list[HSP]]:
+        """Round-based batched gapped stage over many subjects at once.
+
+        Bit-identical to calling :meth:`_gapped_stage` per subject: each
+        subject's seeds are still consumed best-first and its inside-
+        check sees exactly the gapped HSPs its own earlier seeds
+        produced, because a subject submits at most one DP per round and
+        blocks until the result lands.  Across subjects the rounds run
+        in lockstep through :func:`extend_gapped_batch`; seeds never
+        depend on *other* subjects' results, so cross-subject ordering
+        cannot change which DPs execute.  Within a round, duplicate
+        (subject sequence, anchor) keys share one DP slot and the
+        non-first submitters count as ``gapped_dedup`` — the same split
+        the scalar memo produces, keeping SearchStats path-independent.
+        """
+        p = self.params
+        memo = self._gapped_memo
+        results: dict[int, list[HSP]] = {}
+        pending: list[_GapState] = []
+        for si, scodes, hits in subjects:
+            hits.sort(key=lambda h: (-h.score, h.qstart, h.sstart))
+            pending.append(_GapState(si, scodes, scodes.tobytes(), hits))
+        while pending:
+            waiting: list[_GapState] = []
+            round_map: dict[tuple, int] = {}
+            bsubs: list[np.ndarray] = []
+            baq: list[int] = []
+            bas: list[int] = []
+            bkeys: list[tuple] = []
+            for st in pending:
+                queued = False
+                while st.ptr < len(st.hits):
+                    h = st.hits[st.ptr]
+                    st.ptr += 1
+                    if h.score < self.gap_trigger_raw:
+                        st.leftovers.append(h)
+                        continue
+                    inside = any(
+                        g.qstart <= h.qstart
+                        and h.qend <= g.qend
+                        and g.sstart <= h.sstart
+                        and h.send <= g.send
+                        for g in st.gapped
+                    )
+                    if inside:
+                        continue
+                    mid = (h.qstart + h.qend) // 2
+                    anchor_q = mid
+                    anchor_s = h.sstart + (mid - h.qstart)
+                    key = (st.skey, anchor_q, anchor_s)
+                    ext = memo.get(key)
+                    if ext is not None:
+                        if stats is not None:
+                            stats.gapped_dedup += 1
+                        st.gapped.append(hsp_from_extension(st.si, ext))
+                        continue
+                    slot = round_map.get(key)
+                    if slot is None:
+                        slot = len(bsubs)
+                        round_map[key] = slot
+                        bsubs.append(st.scodes)
+                        baq.append(anchor_q)
+                        bas.append(anchor_s)
+                        bkeys.append(key)
+                    elif stats is not None:
+                        stats.gapped_dedup += 1
+                    st.slot = slot
+                    queued = True
+                    break
+                if queued:
+                    waiting.append(st)
+                else:
+                    results[st.si] = self._finish_gapped(
+                        st.si, st.gapped, st.leftovers
+                    )
+            if bsubs:
+                bst = GappedBatchStats()
+                exts = extend_gapped_batch(
+                    q, bsubs, baq, bas, self.matrix,
+                    p.gap_open, p.gap_extend, p.x_drop_gapped,
+                    band=p.band, stats=bst,
+                )
+                for key, ext in zip(bkeys, exts):
+                    memo[key] = ext
+                if stats is not None:
+                    stats.gapped_extensions += len(bsubs)
+                    stats.gapped_widenings += bst.widenings
+                    stats.gapped_fallbacks += bst.fallbacks
+                    stats.gapped_peak_cells = max(
+                        stats.gapped_peak_cells, bst.peak_cells
+                    )
+                for st in waiting:
+                    st.gapped.append(hsp_from_extension(st.si, exts[st.slot]))
+            pending = waiting
+        return results
 
     # ------------------------------------------------------------------
     def _render(

@@ -16,6 +16,19 @@ is valid because chaining a new gap-open directly onto a gap-ended cell
 is never better than extending the existing gap (gap_open ≥ 0), so only
 non-E-derived cells ``H0 = max(diag, F)`` need to be considered as gap
 origins — and that max is a running ``np.maximum.accumulate``.
+
+``extend_gapped_batch`` is the vectorized gapped engine: many gapped
+extensions evaluated at once, each restricted to a diagonal band of
+width ``2·band+1`` around its seed, with all live wavefronts advanced
+in lockstep (one ndarray op per DP step for the whole batch).  The band
+is *score-safe*: each stored row carries one ghost column past each
+band edge, computed exactly as the full DP would; if a ghost cell is
+ever still live after X-drop masking, the optimal path might leave the
+band, so that alignment is retried with a doubled band (and falls back
+to the scalar DP once the band covers the whole matrix).  When no ghost
+cell is ever live, every out-of-band cell of the full DP is provably
+X-drop dead, so the banded scores, traceback, and ops are bit-identical
+to :func:`extend_gapped` — the property suite asserts exactly that.
 """
 
 from __future__ import annotations
@@ -391,6 +404,457 @@ def extend_gapped(
         score=int(score),
         ops=ops,
     )
+
+
+@dataclass
+class GappedBatchStats:
+    """Work/health counters for one or more batched gapped calls.
+
+    ``peak_cells`` is the high-water mark of *allocated* banded history
+    cells (H+E+F) across the lockstep batch — the number the memory-
+    hygiene test bounds: retiring and compacting finished wavefronts
+    must keep it near the live alignments' need, not the naive
+    ``n_alignments × longest_alignment`` rectangle.
+    """
+
+    halves: int = 0  # half-extension DPs executed (2 per alignment)
+    widenings: int = 0  # band-doubling retries after a ghost-cell hit
+    fallbacks: int = 0  # halves that ran the scalar reference DP
+    peak_cells: int = 0  # peak allocated banded history cells
+
+    def merge(self, other: "GappedBatchStats") -> None:
+        self.halves += other.halves
+        self.widenings += other.widenings
+        self.fallbacks += other.fallbacks
+        self.peak_cells = max(self.peak_cells, other.peak_cells)
+
+
+def _traceback_banded(
+    Hh: np.ndarray,
+    Eh: np.ndarray,
+    Fh: np.ndarray,
+    qh: np.ndarray,
+    sh: np.ndarray,
+    matrix: np.ndarray,
+    ge: int,
+    off: int,
+    bi: int,
+    bj: int,
+) -> str:
+    """Scalar traceback over one banded history (row i, col ``j-i+off``).
+
+    Decision-for-decision the traceback of :func:`_extend_half`; under
+    the no-ghost-live invariant every cell it can visit holds the same
+    value as the full DP matrix, so the ops come out identical.
+    """
+    ops_rev: list[str] = []
+    i, j = bi, bj
+    state = "H"
+    W = Hh.shape[1]
+    while i > 0 or j > 0:
+        d = j - i + off
+        if state == "H":
+            h = Hh[i, d]
+            if (
+                i > 0
+                and j > 0
+                and Hh[i - 1, d] > _NEG32
+                and h == Hh[i - 1, d] + matrix[qh[i - 1], sh[j - 1]]
+            ):
+                ops_rev.append("M")
+                i -= 1
+                j -= 1
+            elif j > 0 and h == Eh[i, d]:
+                state = "E"
+            elif i > 0 and h == Fh[i, d]:
+                state = "F"
+            else:  # pragma: no cover - would indicate a DP bug
+                raise AssertionError(f"banded traceback stuck at ({i},{j})")
+        elif state == "E":
+            ops_rev.append("I")
+            extending = j >= 2 and d >= 1 and Eh[i, d] == Eh[i, d - 1] - ge
+            j -= 1
+            if not extending:
+                state = "H"
+        else:  # state == 'F'
+            ops_rev.append("D")
+            extending = (
+                i >= 2 and d + 1 < W and Fh[i, d] == Fh[i - 1, d + 1] - ge
+            )
+            i -= 1
+            if not extending:
+                state = "H"
+    return "".join(reversed(ops_rev))
+
+
+#: Initial rows allocated per banded history; doubled on demand.
+_BAND_INIT_ROWS = 8
+#: Compact the lockstep batch when live slots drop below this fraction.
+_COMPACT_FRACTION = 0.5
+#: Dead-cell sentinel for the int32 banded state.  Large enough that no
+#: real score reaches it, small enough that sentinel arithmetic
+#: (``_NEG32 + _SENT_SCORE`` at worst) stays inside int32.
+_NEG32 = np.int32(-(1 << 30))
+#: Substitution score against the out-of-range sentinel code: any diag
+#: move that reads past a subject's real letters is astronomically dead.
+_SENT_SCORE = np.int32(-(1 << 28))
+
+
+def _run_band_cohort(
+    probs: list[tuple[np.ndarray, np.ndarray]],
+    matrix: np.ndarray,
+    go: int,
+    ge: int,
+    x_drop: int,
+    band: int,
+    bstats: GappedBatchStats,
+) -> list[_HalfExtension | None]:
+    """Lockstep banded DP over a cohort of half-extension problems.
+
+    Returns, per problem, its :class:`_HalfExtension` — or ``None`` if
+    a ghost cell went live (band too narrow; the caller widens and
+    retries).  Every problem must have non-empty query and subject.
+
+    Hot-loop layout: all DP state is int32 (scores are bounded far
+    inside it); histories are ``(rows, slots, W)`` so each wavefront row
+    is a contiguous ``(L, W)`` view computed in place with ``out=``
+    ufuncs; subject codes are concatenated with ``W+2`` sentinel codes
+    around every subject so the sliding-window gather needs no bounds
+    masks — out-of-range reads hit the sentinel matrix row and come out
+    astronomically dead on their own.
+    """
+    A = len(probs)
+    W = 2 * band + 3
+    off = band + 1
+    open_cost = np.int32(go + ge)
+    ge32 = np.int32(ge)
+    nq = np.fromiter((len(p[0]) for p in probs), np.int64, count=A)
+    ns = np.fromiter((len(p[1]) for p in probs), np.int64, count=A)
+    qflat = np.concatenate(
+        [np.asarray(p[0], dtype=np.int32) for p in probs]
+    )
+    # Subject codes with W+2 sentinels between/around subjects: the
+    # window never reaches further than W past either end of a live
+    # subject before the slot retires, so every gather index lands on a
+    # real letter or a sentinel.
+    sz = matrix.shape[0]
+    sent_pad = np.full(W + 2, sz, dtype=np.int32)
+    schunks: list[np.ndarray] = []
+    soff = np.empty(A, np.int64)
+    pos = 0
+    for k, p in enumerate(probs):
+        schunks.append(sent_pad)
+        pos += len(sent_pad)
+        soff[k] = pos
+        schunks.append(np.asarray(p[1], dtype=np.int32))
+        pos += len(p[1])
+    schunks.append(sent_pad)
+    sflat = np.concatenate(schunks)
+    qoff = np.concatenate(([0], np.cumsum(nq)[:-1]))
+    qlast = qoff + nq - 1
+    matext = np.full((sz + 1, sz + 1), _SENT_SCORE, dtype=np.int32)
+    matext[:sz, :sz] = matrix
+    matflat = np.ascontiguousarray(matext).ravel()
+    mat = np.ascontiguousarray(matrix, dtype=np.int64)
+    dar = np.arange(W, dtype=np.int64)
+    gedar = (ge * dar).astype(np.int32)[None, :]
+    ecost = (go + ge * dar[1:]).astype(np.int32)[None, :]
+    #: Best possible per-step gain; bounds what any escaped path can
+    #: still earn (value + maxpos*min(remaining q, remaining s) is
+    #: non-increasing along every DP path).
+    maxpos = np.int64(max(int(matrix.max()), 0))
+
+    out: list[_HalfExtension | None] = [None] * A
+
+    # Slot state (slot -> original problem index via ``orig``).  Retired
+    # slots go inactive immediately and are *compacted away* (history
+    # pads released) once live slots fall below _COMPACT_FRACTION, so
+    # dead lanes never cost more than a constant factor in compute or
+    # memory while one straggler finishes.
+    orig = np.arange(A)
+    active = np.ones(A, dtype=bool)
+    cap = _BAND_INIT_ROWS
+    # Rows >= 1 are fully overwritten in place before being read, so
+    # histories start uninitialised; only row 0 needs explicit values.
+    Hh = np.empty((cap, A, W), dtype=np.int32)
+    Eh = np.empty((cap, A, W), dtype=np.int32)
+    Fh = np.empty((cap, A, W), dtype=np.int32)
+    best = np.zeros(A, dtype=np.int32)
+    best_i = np.zeros(A, dtype=np.int64)
+    best_j = np.zeros(A, dtype=np.int64)
+    #: Rightmost in-range band column (``j <= ns``); walks left one
+    #: column per row as the window slides.
+    hi_d = ns - 1 + off
+    #: Sliding gather index into ``sflat``; advanced in place each row.
+    sidx = soff[:, None] + (dar - off)[None, :]
+
+    def alloc_scratch(L: int):
+        return (
+            np.empty((L, W), dtype=np.int32),  # diag
+            np.empty((L, W), dtype=np.int32),  # tmp
+            np.empty((L, W), dtype=np.int32),  # subject codes
+            np.empty((L, W), dtype=np.int32),  # matrix gather index
+            np.empty((L, W), dtype=np.int32),  # substitution scores
+            np.empty((L, W), dtype=bool),      # mask buffer
+            np.empty(L, dtype=np.int32),       # row max
+        )
+
+    D, T, SC, MI, SS, MB, RB = alloc_scratch(A)
+
+    def finish(slots: np.ndarray) -> None:
+        for k in slots.tolist():
+            o = int(orig[k])
+            qh, sh = probs[o]
+            ops = _traceback_banded(
+                Hh[:, k, :], Eh[:, k, :], Fh[:, k, :], qh, sh, mat, ge,
+                off, int(best_i[k]), int(best_j[k]),
+            )
+            out[o] = _HalfExtension(
+                int(best[k]), int(best_i[k]), int(best_j[k]), ops
+            )
+
+    # Row 0: leading gap in the query, masked against best=0.
+    j0 = dar - off
+    valid0 = (j0[None, :] >= 0) & (j0[None, :] <= ns[:, None])
+    gap0 = (-(go + ge * j0[None, :])).astype(np.int32)
+    H = np.where(j0[None, :] == 0, np.int32(0), gap0)
+    H = np.where(valid0, H, _NEG32)
+    H = np.where(H < best[:, None] - np.int32(x_drop), _NEG32, H)
+    Hh[0] = H
+    Eh[0] = np.where((j0[None, :] >= 1) & valid0, gap0, _NEG32)
+    Fh[0].fill(_NEG32)
+
+    # Row-0 ghost check: a live upper ghost means even the first row's
+    # leading-gap reach escapes the band — clipped, retry wider.
+    ghost0 = (Hh[0, :, 0] > _NEG32) | (Hh[0, :, W - 1] > _NEG32)
+    active &= ~ghost0
+
+    xd32 = np.int32(x_drop)
+    r = 1
+    while active.any():
+        L = len(orig)
+        bstats.peak_cells = max(bstats.peak_cells, 3 * L * cap * W)
+        if r >= cap:
+            newcap = cap * 2
+            grown = []
+            for old in (Hh, Eh, Fh):
+                g = np.empty((newcap, L, W), dtype=np.int32)
+                g[:cap] = old
+                grown.append(g)
+            Hh, Eh, Fh = grown
+            cap = newcap
+        if r > 1:
+            sidx += 1
+            hi_d -= 1
+        Hp = Hh[r - 1]
+        Fp = Fh[r - 1]
+        H = Hh[r]
+        E = Eh[r]
+        F = Fh[r]
+        # Substitution scores via two flat gathers: subject codes from
+        # the sliding window, then the (query row x subject code) cell
+        # of the sentinel-extended matrix.  mode='clip' keeps retired
+        # slots' runaway indices harmless.
+        qcode = qflat[np.minimum(qoff + r - 1, qlast)]
+        np.take(sflat, sidx, out=SC, mode="clip")
+        np.add(SC, (qcode * np.int32(sz + 1))[:, None], out=MI)
+        np.take(matflat, MI, out=SS, mode="clip")
+        np.add(Hp, SS, out=D)
+        # F/diag predecessors sit one band column to the right in the
+        # previous row (the window slides one subject position per row).
+        np.subtract(Fp[:, 1:], ge32, out=F[:, : W - 1])
+        np.subtract(Hp[:, 1:], open_cost, out=T[:, : W - 1])
+        np.maximum(F[:, : W - 1], T[:, : W - 1], out=F[:, : W - 1])
+        F[:, W - 1] = _NEG32
+        np.maximum(D, F, out=H)  # H0
+        # E from the in-row prefix max of H0 + ge*d (the open/extend
+        # recurrence collapsed into one accumulate).
+        np.add(H, gedar, out=T)
+        np.maximum.accumulate(T, axis=1, out=T)
+        E[:, 0] = _NEG32
+        np.subtract(T[:, : W - 1], ecost, out=E[:, 1:])
+        np.maximum(H, E, out=H)
+        # Clamp columns past the subject end (E can leak into them with
+        # live-looking values; the full DP has no such cells).
+        np.greater(dar[None, :], hi_d[:, None], out=MB)
+        np.copyto(H, _NEG32, where=MB)
+        np.maximum.reduce(H, axis=1, out=RB)
+        imp = active & (RB > best)
+        if imp.any():
+            best[imp] = RB[imp]
+            best_i[imp] = r
+            best_j[imp] = r + H[imp].argmax(axis=1) - off
+        np.less(H, (best - xd32)[:, None], out=MB)
+        np.copyto(H, _NEG32, where=MB)
+        glow = H[:, 0] > _NEG32
+        gup = H[:, W - 1] > _NEG32
+        ghost = active & (glow | gup)
+        if ghost.any():
+            # Safe-ghost rule: a live ghost whose optimistic bound
+            # (value plus the best score the remaining letters could
+            # ever earn) is *strictly* below the current best cannot
+            # lie on, or taint, any best-scoring path — kill it in
+            # place instead of clipping.  The common case is a
+            # trailing-gap tail riding a sequence end out of the band
+            # after the best cell is already fixed.  Ties must clip:
+            # the scalar traceback could prefer the escaped path.
+            pot_low = maxpos * np.maximum(
+                np.minimum(nq - r, ns - (r - off)), 0
+            )
+            pot_up = maxpos * np.maximum(
+                np.minimum(nq - r, ns - (r + off)), 0
+            )
+            b64 = best.astype(np.int64)
+            safe_low = glow & (H[:, 0] + pot_low < b64)
+            safe_up = gup & (H[:, W - 1] + pot_up < b64)
+            H[safe_low, 0] = _NEG32
+            H[safe_up, W - 1] = _NEG32
+            ghost = active & ((glow & ~safe_low) | (gup & ~safe_up))
+        done = active & ~ghost & ((RB < best - xd32) | (r >= nq))
+        if ghost.any() or done.any():
+            finish(np.flatnonzero(done))
+            active &= ~(ghost | done)
+            n_live = int(active.sum())
+            if n_live and n_live < _COMPACT_FRACTION * L:
+                keep = np.flatnonzero(active)
+                orig, nq, ns, qoff, qlast = (
+                    orig[keep], nq[keep], ns[keep], qoff[keep], qlast[keep]
+                )
+                best, best_i, best_j = (
+                    best[keep], best_i[keep], best_j[keep]
+                )
+                hi_d = hi_d[keep]
+                sidx = np.ascontiguousarray(sidx[keep])
+                Hh = np.ascontiguousarray(Hh[:, keep, :])
+                Eh = np.ascontiguousarray(Eh[:, keep, :])
+                Fh = np.ascontiguousarray(Fh[:, keep, :])
+                active = np.ones(len(keep), dtype=bool)
+                D, T, SC, MI, SS, MB, RB = alloc_scratch(len(keep))
+        r += 1
+    return out
+
+
+def _extend_half_batch(
+    halves: list[tuple[np.ndarray, np.ndarray]],
+    matrix: np.ndarray,
+    go: int,
+    ge: int,
+    x_drop: int,
+    band: int,
+    max_batch: int,
+    bstats: GappedBatchStats,
+) -> list[_HalfExtension]:
+    """All half-extensions, banded-batched with widening retries.
+
+    Each half runs at ``band`` first; halves whose ghost columns go
+    live retry with the band doubled, and fall back to the scalar
+    :func:`_extend_half` once the band would cover the whole DP matrix
+    (at which point banding cannot help).  Results equal the scalar DP
+    bit for bit.
+    """
+    n = len(halves)
+    out: list[_HalfExtension | None] = [None] * n
+    todo: list[int] = []
+    for i, (qh, sh) in enumerate(halves):
+        if len(qh) == 0 or len(sh) == 0:
+            out[i] = _HalfExtension(0, 0, 0, "")
+        else:
+            todo.append(i)
+    b = band
+    first = True
+    while todo:
+        run: list[int] = []
+        rest: list[int] = []
+        for i in todo:
+            qh, sh = halves[i]
+            # A band covering the whole matrix cannot clip (the ghost
+            # columns fall outside the real cell range), so the first
+            # pass keeps every problem vectorized; only *clipped*
+            # problems whose doubled band outgrew the matrix take the
+            # scalar reference DP.
+            if not first and b >= max(len(qh), len(sh)):
+                out[i] = _extend_half(qh, sh, matrix, go, ge, x_drop)
+                bstats.fallbacks += 1
+                bstats.halves += 1
+            else:
+                run.append(i)
+        if not first:
+            bstats.widenings += len(run)
+        for lo in range(0, len(run), max_batch):
+            chunk = run[lo : lo + max_batch]
+            res = _run_band_cohort(
+                [halves[i] for i in chunk], matrix, go, ge, x_drop, b, bstats
+            )
+            for i, r in zip(chunk, res):
+                if r is None:
+                    rest.append(i)  # clipped: retry at 2*b
+                else:
+                    out[i] = r
+                    bstats.halves += 1
+        todo = rest
+        b *= 2
+        first = False
+    return out  # type: ignore[return-value]
+
+
+def extend_gapped_batch(
+    q: np.ndarray,
+    subjects: list[np.ndarray],
+    anchors_q,
+    anchors_s,
+    matrix: np.ndarray,
+    gap_open: int,
+    gap_extend: int,
+    x_drop: int,
+    *,
+    band: int = 32,
+    max_batch: int = 1024,
+    stats: GappedBatchStats | None = None,
+) -> list[GappedExtension]:
+    """Vectorized :func:`extend_gapped` over many (subject, seed) pairs.
+
+    Element ``k`` equals
+    ``extend_gapped(q, subjects[k], anchors_q[k], anchors_s[k], ...)``
+    bit for bit: same spans, same score, same ops string.  Each
+    extension is two banded half-extensions (forward and backward from
+    the anchor) evaluated in one lockstep wavefront batch; band-edge
+    hits widen and retry per half (see :func:`_extend_half_batch`), so
+    the band is a pure performance knob, never a correctness one.
+    """
+    n = len(subjects)
+    if not (len(anchors_q) == len(anchors_s) == n):
+        raise ValueError("subjects and anchors must have equal length")
+    if stats is None:
+        stats = GappedBatchStats()
+    halves: list[tuple[np.ndarray, np.ndarray]] = []
+    for k in range(n):
+        s = subjects[k]
+        aq, asub = int(anchors_q[k]), int(anchors_s[k])
+        if not (0 <= aq < len(q) and 0 <= asub < len(s)):
+            raise ValueError("anchor out of range")
+        halves.append((q[aq + 1 :], s[asub + 1 :]))
+        halves.append((q[:aq][::-1], s[:asub][::-1]))
+    res = _extend_half_batch(
+        halves, matrix, int(gap_open), int(gap_extend), int(x_drop),
+        int(band), int(max_batch), stats,
+    )
+    out: list[GappedExtension] = []
+    for k in range(n):
+        s = subjects[k]
+        aq, asub = int(anchors_q[k]), int(anchors_s[k])
+        fwd, bwd = res[2 * k], res[2 * k + 1]
+        anchor_score = int(matrix[q[aq], s[asub]])
+        out.append(
+            GappedExtension(
+                qstart=aq - bwd.qlen,
+                qend=aq + 1 + fwd.qlen,
+                sstart=asub - bwd.slen,
+                send=asub + 1 + fwd.slen,
+                score=anchor_score + fwd.score + bwd.score,
+                ops=bwd.ops[::-1] + "M" + fwd.ops,
+            )
+        )
+    return out
 
 
 def score_alignment_ops(

@@ -39,6 +39,25 @@ class HSP:
         )
 
 
+def hsp_from_extension(subject_oid: int, ext) -> HSP:
+    """Assemble an :class:`HSP` from a gapped-extension result.
+
+    ``ext`` is any object with ``qstart/qend/sstart/send/score/ops``
+    (a :class:`repro.blast.extend.GappedExtension`, scalar or batched
+    — both trace assemblies flow through here, so a memoized extension
+    yields the same HSP no matter which path computed it).
+    """
+    return HSP(
+        subject_oid=subject_oid,
+        qstart=ext.qstart,
+        qend=ext.qend,
+        sstart=ext.sstart,
+        send=ext.send,
+        score=ext.score,
+        ops=ext.ops,
+    )
+
+
 def cull_contained(hsps: list[HSP]) -> list[HSP]:
     """Drop HSPs contained in a higher-scoring HSP of the same subject.
 

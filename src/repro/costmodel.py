@@ -84,7 +84,11 @@ class CostModel:
             + stats.word_hits * self.per_word_hit
             + stats.triggers * self.per_trigger
             + stats.ungapped_extensions * self.per_ungapped_extension
-            + stats.gapped_extensions * self.per_gapped_extension
+            # Memoized repeats (gapped_dedup) are charged like executed
+            # DPs: virtual time models the abstract machine, which does
+            # not memoize, and must not depend on host-side dedup.
+            + (stats.gapped_extensions + stats.gapped_dedup)
+            * self.per_gapped_extension
         )
         return t * self.compute_scale
 

@@ -1,4 +1,4 @@
-"""Emit the machine-readable benchmark file (``BENCH_pr7.json``).
+"""Emit the machine-readable benchmark file (``BENCH_pr8.json``).
 
 Runs the paper-regime experiments — the Table-1 32-process comparison,
 the Figure-3(a) scalability sweep, a large np=128 point, and the
@@ -22,16 +22,17 @@ Two kinds of time appear in the file and must not be confused:
 The ``kernel`` section times the batched BLAST search kernel directly
 (no simulator): each scenario searches a synthetic database once with
 ``SearchParams.batch`` off (scalar reference) and once on, records both
-host times and the speedup.  The paper's data-access argument is made
-on GenBank *nt*-scale databases, so the headline scenario is the
-10^4-sequence blastn database; blastp is recorded alongside (its gapped
-DP stage is shared scalar code, so its speedup is lower).
+host times, the speedup, the batch run's per-stage breakdown, and the
+gapped-DP work counters.  The paper's data-access argument is made on
+GenBank *nt*-scale databases, so scenarios cover 10^4-sequence blastn
+and blastp plus a 10^5-sequence blastp point (the batched banded
+gapped extension makes the latter routine; see PERFORMANCE.md §2).
 
 The file is the comparison baseline for :mod:`repro.obs.compare`::
 
-    python -m repro.obs.bench --out BENCH_pr7.json          # full (slow)
+    python -m repro.obs.bench --out BENCH_pr8.json          # full (slow)
     python -m repro.obs.bench --quick --out /tmp/now.json   # CI-sized
-    python -m repro.obs.compare BENCH_pr7.json /tmp/now.json
+    python -m repro.obs.compare BENCH_pr8.json /tmp/now.json
 
 ``--quick`` shrinks the workload, the process counts, and the kernel
 databases so the sweep finishes in seconds; quick files are only
@@ -67,18 +68,32 @@ from repro.workloads import (
 )
 
 #: Figure-3(a) sweep plus the Table-1 point (32 is in both) plus the
-#: large np=128 scheduler-stress point.
-FULL_COUNTS = PROCESS_COUNTS + (128,)
-#: CI keeps the np=128 point: it is the scheduler-heavy regime the
-#: simmpi fast path exists for, and the quick workload keeps it cheap.
-QUICK_COUNTS = (4, 8, 128)
+#: large scheduler-stress points.  np=256 is the relay scheduler's
+#: first measured data point past np=128.
+FULL_COUNTS = PROCESS_COUNTS + (128, 256)
+#: CI keeps the np=128 and np=256 points: they are the scheduler-heavy
+#: regime the simmpi fast path exists for, and the quick workload keeps
+#: them cheap.
+QUICK_COUNTS = (4, 8, 128, 256)
 QUICK_QUERY_BYTES = 4_000
 
-#: Kernel scenarios: (program, database sequences).  Sequences average
-#: 300 letters, so 10^4 sequences is a ~3 Mletter fragment.
-KERNEL_FULL = (("blastn", 10_000), ("blastp", 10_000))
-KERNEL_QUICK = (("blastn", 1_000), ("blastp", 1_000))
+#: Kernel scenarios: (program, database sequences, queries, scalar?).
+#: Sequences average 300 letters, so 10^4 sequences is a ~3 Mletter
+#: fragment and 10^5 a ~30 Mletter one.  ``scalar?`` False skips the
+#: scalar reference column — the quick blastp/100000 point is
+#: batch-only (one query) so CI measures the 10^5 regime without
+#: paying minutes of scalar Gotoh DP inside the perf-smoke budget.
 KERNEL_QUERIES = 4
+KERNEL_FULL = (
+    ("blastn", 10_000, KERNEL_QUERIES, True),
+    ("blastp", 10_000, KERNEL_QUERIES, True),
+    ("blastp", 100_000, KERNEL_QUERIES, True),
+)
+KERNEL_QUICK = (
+    ("blastn", 1_000, KERNEL_QUERIES, True),
+    ("blastp", 1_000, KERNEL_QUERIES, True),
+    ("blastp", 100_000, 1, False),
+)
 
 #: Online-service scenario: a Poisson arrival stream against the warm
 #: resident cluster, once with the interactive priority lane and once
@@ -111,9 +126,15 @@ def kernel_scenarios(
     produce bit-identical results (enforced by the tier-1 suite); only
     the host time differs.  The global index memo is cleared before
     each timed run so neither mode inherits the other's cached work.
+
+    Per scenario the entry also carries the batch run's per-stage host
+    seconds (``stages``: scan / ungapped / gapped / render) and the
+    gapped-DP work/health counters (``gapped_extensions``,
+    ``gapped_dedup``, ``gapped_widenings``, ``gapped_fallbacks``,
+    ``gapped_peak_cells``) — see OBSERVABILITY.md §6.
     """
     out: dict[str, dict] = {}
-    for program, nseqs in scenarios:
+    for program, nseqs, nqueries, with_scalar in scenarios:
         if program == "blastn":
             recs = synthesize_dna_records(
                 SynthSpec(num_sequences=nseqs, mean_length=300, seed=11)
@@ -124,42 +145,66 @@ def kernel_scenarios(
                 SynthSpec(num_sequences=nseqs, mean_length=300)
             )
             base = dict(program="blastp")
-        step = max(1, nseqs // KERNEL_QUERIES)
-        queries = [recs[i] for i in range(0, nseqs, step)][:KERNEL_QUERIES]
+        step = max(1, nseqs // nqueries)
+        queries = [recs[i] for i in range(0, nseqs, step)][:nqueries]
         entry: dict = {
             "num_sequences": nseqs,
             "num_queries": len(queries),
         }
-        for mode, batch in (("scalar", False), ("batch", True)):
+        modes = [("scalar", False)] if with_scalar else []
+        modes.append(("batch", True))
+        for mode, batch in modes:
             BlastSearch._GLOBAL_INDEX_MEMO.clear()
             eng = BlastSearch(SearchParams(batch=batch, **base))
             db = ListDatabase(recs, eng.alphabet)
             entry["db_letters"] = db.total_letters
+            stats = SearchStats()
             t0 = time.perf_counter()
             eng.search_fragment(
                 queries,
                 db,
                 db_letters=db.total_letters,
                 db_num_seqs=db.num_sequences,
-                stats=SearchStats(),
+                stats=stats,
             )
             entry[f"{mode}_host_s"] = time.perf_counter() - t0
-        entry["speedup"] = entry["scalar_host_s"] / entry["batch_host_s"]
+            if batch:
+                entry["stages"] = {
+                    k: round(v, 4) for k, v in eng.stage_times.items()
+                }
+                entry["gapped_extensions"] = stats.gapped_extensions
+                entry["gapped_dedup"] = stats.gapped_dedup
+                entry["gapped_widenings"] = stats.gapped_widenings
+                entry["gapped_fallbacks"] = stats.gapped_fallbacks
+                entry["gapped_peak_cells"] = stats.gapped_peak_cells
         name = f"{program}/{nseqs}"
-        out[name] = entry
-        if verbose:
+        if with_scalar:
+            entry["speedup"] = entry["scalar_host_s"] / entry["batch_host_s"]
+            if verbose:
+                print(
+                    f"kernel {name}: scalar {entry['scalar_host_s']:.2f}s, "
+                    f"batch {entry['batch_host_s']:.2f}s "
+                    f"({entry['speedup']:.1f}x)"
+                )
+        elif verbose:
             print(
-                f"kernel {name}: scalar {entry['scalar_host_s']:.2f}s, "
-                f"batch {entry['batch_host_s']:.2f}s "
-                f"({entry['speedup']:.1f}x)"
+                f"kernel {name}: batch {entry['batch_host_s']:.2f}s "
+                f"(batch-only)"
             )
+        out[name] = entry
     return out
 
 
 def bench_document(
-    *, quick: bool = False, trace: bool = True, verbose: bool = False
+    *, quick: bool = False, trace: bool = True, verbose: bool = False,
+    profile: str | pathlib.Path | None = None,
 ) -> dict:
-    """Run the sweep and the kernel scenarios; build the bench document."""
+    """Run the sweep and the kernel scenarios; build the bench document.
+
+    ``profile`` wraps the *kernel section only* in :mod:`cProfile` and
+    dumps the stats to that path (plus a top-functions digest on
+    stdout) — the map future PRs use to find the next kernel floor.
+    """
     wl = ExperimentWorkload()
     counts = FULL_COUNTS
     kernels = KERNEL_FULL
@@ -170,7 +215,19 @@ def bench_document(
     # Kernel scenarios run first: they are pure wall-clock measurements,
     # and timing them in a fresh process state (before the simulator
     # sweep has churned the allocator) keeps them reproducible.
-    kernel = kernel_scenarios(kernels, verbose=verbose)
+    if profile is not None:
+        import cProfile
+        import pstats
+
+        prof = cProfile.Profile()
+        prof.enable()
+        kernel = kernel_scenarios(kernels, verbose=verbose)
+        prof.disable()
+        prof.dump_stats(str(profile))
+        print(f"kernel cProfile -> {profile}; top functions by cumtime:")
+        pstats.Stats(prof).sort_stats("cumulative").print_stats(15)
+    else:
+        kernel = kernel_scenarios(kernels, verbose=verbose)
     runs: dict[str, dict] = {}
     for program in ("mpiblast", "pioblast"):
         for nprocs in counts:
@@ -255,8 +312,11 @@ def total_host_s(doc: dict) -> float:
 def write_bench(
     path: str | pathlib.Path,
     *, quick: bool = False, trace: bool = True, verbose: bool = False,
+    profile: str | pathlib.Path | None = None,
 ) -> dict:
-    doc = bench_document(quick=quick, trace=trace, verbose=verbose)
+    doc = bench_document(
+        quick=quick, trace=trace, verbose=verbose, profile=profile
+    )
     pathlib.Path(path).write_text(
         json.dumps(doc, indent=2, sort_keys=True) + "\n"
     )
@@ -271,7 +331,7 @@ def main(argv: list[str] | None = None) -> int:
             "write bench JSON."
         ),
     )
-    ap.add_argument("--out", default="BENCH_pr7.json")
+    ap.add_argument("--out", default="BENCH_pr8.json")
     ap.add_argument("--quick", action="store_true",
                     help="small workload + few process counts (CI)")
     ap.add_argument("--no-trace", action="store_true",
@@ -279,9 +339,13 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--host-budget", type=float, default=None, metavar="S",
                     help="fail (exit 3) if total host time exceeds S "
                          "seconds")
+    ap.add_argument("--profile", default=None, metavar="PATH",
+                    help="cProfile the kernel section, dump stats to "
+                         "PATH and print the top functions")
     ns = ap.parse_args(argv)
     doc = write_bench(
-        ns.out, quick=ns.quick, trace=not ns.no_trace, verbose=True
+        ns.out, quick=ns.quick, trace=not ns.no_trace, verbose=True,
+        profile=ns.profile,
     )
     spent = total_host_s(doc)
     print(f"wrote {ns.out} ({len(doc['runs'])} runs, "

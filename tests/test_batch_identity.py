@@ -179,6 +179,63 @@ class TestBatchedKernelIdentity:
         )
         assert_batch_identical(recs, [recs[0]], program="blastp")
 
+    def test_tiny_band_forces_widening(self):
+        # band=1 makes nearly every gapped DP clip its band edge: the
+        # widen-and-retry (and, for long halves, scalar-fallback) paths
+        # must still render byte-identical reports and equal stats.
+        recs = synthesize_protein_records(
+            SynthSpec(num_sequences=80, mean_length=150,
+                      family_fraction=0.6, family_size=5, seed=21)
+        )
+        assert_batch_identical(recs, [recs[0], recs[10]],
+                               program="blastp", band=1)
+
+    def test_gapped_batch_escape_hatch(self):
+        # gapped_batch=False keeps the batched scan/ungapped kernel but
+        # routes gapped extensions through the scalar per-subject stage.
+        recs = synthesize_protein_records(
+            SynthSpec(num_sequences=60, mean_length=130,
+                      family_fraction=0.5, family_size=4, seed=22)
+        )
+        scalar = run_search(
+            SearchParams(batch=False, program="blastp"), recs,
+            [recs[0], recs[8]],
+        )
+        hatch = run_search(
+            SearchParams(batch=True, gapped_batch=False,
+                         program="blastp"), recs, [recs[0], recs[8]],
+        )
+        assert scalar[1] == hatch[1]
+        assert scalar[0] == hatch[0]
+        assert scalar[2] == hatch[2]
+
+    def test_duplicate_subjects_dedup_gapped_work(self):
+        # Word-identical subjects produce identical (subject, anchor) DP
+        # problems; both kernels must answer repeats from the memo —
+        # counted as gapped_dedup, which the stats equality check above
+        # also forces to be path-independent.
+        recs = list(
+            synthesize_protein_records(
+                SynthSpec(num_sequences=30, mean_length=120,
+                          family_fraction=0.5, family_size=4, seed=23)
+            )
+        )
+        recs = recs + recs[:10] + recs[:10]
+        queries = [recs[0], recs[4]]
+        scalar = run_search(
+            SearchParams(batch=False, program="blastp"), recs, queries
+        )
+        batched = run_search(
+            SearchParams(batch=True, program="blastp"), recs, queries
+        )
+        assert scalar[1] == batched[1]
+        assert scalar[0] == batched[0]
+        assert scalar[2] == batched[2]
+        assert batched[1].gapped_dedup > 0, (
+            "triplicated subjects produced no memoized gapped hits"
+        )
+        assert scalar[1].gapped_dedup == batched[1].gapped_dedup
+
 
 class TestUngappedBatchProperty:
     @given(
