@@ -6,21 +6,24 @@
 #                     seeds (slower; exercises FaultPlan.random + the
 #                     exhaustive kill-subset enumeration)
 #   make report     - assemble archived benchmark tables
-#   make bench-json - run the table1/fig3a/np128/service sweep plus the
-#                     kernel scenarios with tracing on and write
-#                     BENCH_pr8.json (slow; see OBSERVABILITY.md §6,
+#   make bench-json - run the table1/fig3a/np128..1024/flat-vs-hier/service
+#                     sweep plus the kernel scenarios with tracing on and
+#                     write BENCH_pr9.json (slow; see OBSERVABILITY.md §6,
 #                     PERFORMANCE.md)
 #   make perf-smoke - CI-sized wall-clock gate: quick bench under a hard
 #                     host-time budget, then diff against the committed
-#                     quick baseline (BENCH_pr8_quick.json)
+#                     quick baseline (BENCH_pr9_quick.json)
 #   make service-smoke - online-service smoke: Poisson arrivals at
 #                     np=16 under a wall-clock budget, latency table +
 #                     byte-identity against the serial oracle
+#   make hier-smoke - two-level driver smoke: np=64 in 4 replication
+#                     groups with a sub-master kill, byte-identity
+#                     against the serial oracle under a wall-clock budget
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos report bench-json perf-smoke service-smoke
+.PHONY: test chaos report bench-json perf-smoke service-smoke hier-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,15 +35,19 @@ report:
 	$(PYTHON) -m repro report
 
 bench-json:
-	$(PYTHON) -m repro.obs.bench --out BENCH_pr8.json
-	$(PYTHON) -m repro.obs.bench --quick --out BENCH_pr8_quick.json
+	$(PYTHON) -m repro.obs.bench --out BENCH_pr9.json
+	$(PYTHON) -m repro.obs.bench --quick --out BENCH_pr9_quick.json
 
 perf-smoke:
 	$(PYTHON) -m repro.obs.bench --quick --host-budget 120 \
 		--out /tmp/perf_smoke.json
-	$(PYTHON) -m repro.obs.compare BENCH_pr8_quick.json \
+	$(PYTHON) -m repro.obs.compare BENCH_pr9_quick.json \
 		/tmp/perf_smoke.json --host-threshold 3.0
 
 service-smoke:
 	$(PYTHON) -m repro service --nprocs 16 --rate 0.2 --max-wave 4 \
 		--verify-oracle --host-budget 60
+
+hier-smoke:
+	$(PYTHON) -m repro hier --nprocs 64 --groups 4 \
+		--faults 'crash=submaster:g2@40' --verify-oracle --host-budget 90

@@ -294,6 +294,117 @@ def _cmd_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hier(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.common import (
+        ExperimentWorkload,
+        run_hier_raw,
+    )
+    from repro.platforms import PLATFORMS
+    from repro.simmpi import FaultPlan
+    from repro.workloads import SynthSpec
+
+    faults = None
+    if args.faults is not None:
+        try:
+            faults = FaultPlan.parse(args.faults)
+        except ValueError as e:
+            print(f"bad --faults spec: {e}", file=sys.stderr)
+            return 2
+    for opt, path in (("--trace", args.trace),
+                      ("--metrics-json", args.metrics_json)):
+        if path is None:
+            continue
+        parent = pathlib.Path(path).resolve().parent
+        if not parent.is_dir():
+            print(f"bad {opt} path: directory does not exist: {parent}",
+                  file=sys.stderr)
+            return 2
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    wl = ExperimentWorkload(
+        db_spec=SynthSpec(
+            num_sequences=args.db_sequences, mean_length=args.mean_length,
+        ),
+        query_bytes=args.query_bytes,
+    )
+    platform = PLATFORMS[args.platform]
+    mode = "shard" if args.shard else "replicate"
+    t0 = time.perf_counter()
+    try:
+        hres, store, cfg = run_hier_raw(
+            args.nprocs, wl, platform,
+            ngroups=args.groups, mode=mode,
+            batch_queries=args.batch_queries,
+            faults=faults, tracer=tracer,
+        )
+    except ValueError as e:
+        print(f"bad topology: {e}", file=sys.stderr)
+        return 2
+    host_s = time.perf_counter() - t0
+    result = hres.result
+    topo = hres.topology
+    gsizes = [len(g.members) for g in topo.groups]
+    print(
+        f"hier on {platform.name}, {args.nprocs} processes: "
+        f"{topo.ngroups} {mode} groups of "
+        f"{min(gsizes)}-{max(gsizes)} ranks, coordinator + "
+        f"sub-masters {[g.submaster for g in topo.groups]}"
+    )
+    gauges = result.metrics.get("global", {}).get("gauges", {})
+    makespan = max(result.makespan, 1e-12)
+    coord_busy = gauges.get("hier.coordinator.busy_s", 0.0)
+    print(f"  makespan   {result.makespan:10.2f} s   (host {host_s:.1f} s)")
+    print(f"  coordinator busy {coord_busy:8.2f} s "
+          f"({100 * coord_busy / makespan:.1f}% of makespan)")
+    waits = {
+        g.gid: gauges.get(f"hier.group.g{g.gid}.coord_wait_s", 0.0)
+        for g in topo.groups
+    }
+    worst = max(waits.values(), default=0.0)
+    print(f"  group coordinator-wait max {worst:8.2f} s "
+          f"({100 * worst / makespan:.1f}% of makespan; per group "
+          f"{['%.1f' % waits[g] for g in sorted(waits)]})")
+    print(f"  report: {store.size(cfg.output_path):,} bytes at "
+          f"'{cfg.output_path}' (virtual filesystem)")
+    if faults is not None:
+        from repro.parallel import fault_summary
+
+        print(fault_summary(result) or
+              "faults: none injected, none detected")
+    if args.verify_oracle:
+        from repro.parallel import run_serial_reference
+
+        oracle = run_serial_reference(store, cfg, output_path="_oracle.out")
+        if hres.report == oracle:
+            print("  oracle: hierarchical report is byte-identical to "
+                  "the serial reference")
+        else:
+            print("  oracle: MISMATCH against the serial reference",
+                  file=sys.stderr)
+            return 1
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, result.events, result.nprocs)
+        print(f"  trace: {len(result.events)} events -> {args.trace} "
+              "(EV_GROUP spans show per-batch group activity)")
+    if args.metrics_json is not None:
+        from repro.obs import write_run_metrics
+
+        write_run_metrics(args.metrics_json, result, program="hier")
+        print(f"  metrics: -> {args.metrics_json}")
+    if args.host_budget is not None and host_s > args.host_budget:
+        print(f"host budget exceeded: {host_s:.1f} s > "
+              f"{args.host_budget:.1f} s", file=sys.stderr)
+        return 3
+    return 0
+
+
 _EXPERIMENTS = {
     "table1": ("repro.experiments.table1", "run_table1", "render_table1"),
     "table2": ("repro.experiments.table2", "run_table2", None),
@@ -454,6 +565,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit 3 if the run needs more wall-clock than "
                    "this (CI smoke guard)")
     v.set_defaults(func=_cmd_service)
+
+    h = sub.add_parser(
+        "hier",
+        help="two-level hierarchical run (replication groups under a "
+        "coordinator) on a simulated cluster",
+    )
+    h.add_argument("--nprocs", type=int, default=64)
+    h.add_argument("--groups", type=int, default=4,
+                   help="number of replication groups (default 4)")
+    placement = h.add_mutually_exclusive_group()
+    placement.add_argument("--replicate", action="store_true",
+                           help="each group holds the whole database; "
+                           "query batches split across groups (default)")
+    placement.add_argument("--shard", action="store_true",
+                           help="one global partition; each group owns a "
+                           "fragment slice and searches every batch")
+    h.add_argument("--batch-queries", type=int, default=0,
+                   help="queries per coordinator batch (0 = ~2 batches "
+                   "per group)")
+    h.add_argument("--platform", choices=["altix", "blade"], default="altix")
+    h.add_argument("--db-sequences", type=int, default=300)
+    h.add_argument("--mean-length", type=int, default=200)
+    h.add_argument("--query-bytes", type=int, default=6000)
+    h.add_argument("--faults", default=None, metavar="SPEC",
+                   help="fault-injection plan (see FAULTS.md); role "
+                   "events 'crash=coordinator@T' and "
+                   "'crash=submaster:gN@T' resolve against the topology")
+    h.add_argument("--verify-oracle", action="store_true",
+                   help="also run the serial reference and fail unless "
+                   "the report is byte-identical")
+    h.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a Chrome/Perfetto trace (EV_GROUP spans "
+                   "show per-batch group activity)")
+    h.add_argument("--metrics-json", default=None, metavar="FILE",
+                   help="write machine-readable run metrics including "
+                   "the hier section (coordinator + per-group waits)")
+    h.add_argument("--host-budget", type=float, default=None,
+                   metavar="SECONDS",
+                   help="exit 3 if the run needs more wall-clock than "
+                   "this (CI smoke guard)")
+    h.set_defaults(func=_cmd_hier)
 
     e = sub.add_parser("experiment", help="run a paper table/figure harness")
     e.add_argument("which", choices=sorted(_EXPERIMENTS))

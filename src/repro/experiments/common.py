@@ -219,6 +219,39 @@ def run_service_raw(
     return sres, store, cfg
 
 
+def run_hier_raw(
+    nprocs: int,
+    wl: ExperimentWorkload,
+    platform: PlatformSpec = ORNL_ALTIX,
+    *,
+    ngroups: int = 2,
+    mode: str = "replicate",
+    batch_queries: int = 0,
+    config_overrides: dict | None = None,
+    faults: FaultPlan | None = None,
+    tracer=None,
+):
+    """Stage a workload and run the hierarchical driver over it.
+
+    Returns ``(hier_result, store, cfg)``; the report written to
+    ``cfg.output_path`` is byte-identical to the serial oracle.  The
+    hierarchy is timeout-driven even fault-free, so untouched FT
+    defaults are always stretched to the workload's calibrated costs
+    (``run_hier`` does this itself).
+    """
+    from repro.hier import HierConfig, run_hier
+
+    store, cfg = make_store(wl)
+    if config_overrides:
+        cfg = replace(cfg, **config_overrides)
+    hres = run_hier(
+        nprocs, store, cfg,
+        HierConfig(ngroups=ngroups, mode=mode, batch_queries=batch_queries),
+        platform=platform, faults=faults, tracer=tracer,
+    )
+    return hres, store, cfg
+
+
 def format_table(
     title: str,
     headers: list[str],

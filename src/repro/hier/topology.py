@@ -1,0 +1,176 @@
+"""Two-level replication-group topology.
+
+The flat drivers put every worker behind one master; past ~256 ranks
+that master's request loop — and the single shared result stream — is
+the scaling wall the bench files document.  The hierarchy splits the
+rank space instead:
+
+- rank 0 is the **coordinator**: it owns the query stream, hands out
+  query *batches*, and assembles only group-level result *metadata*
+  (section sizes, or per-shard pruned meta lists) — never per-fragment
+  traffic.
+- the remaining ranks are partitioned into ``ngroups`` contiguous
+  **replication groups**.  Each group's lowest rank is its
+  **sub-master**; it speaks the same pull-RPC protocol to its group
+  workers that the flat FT drivers speak cluster-wide.
+
+Two database placements (the paper's replica-vs-shard trade):
+
+``replicate``
+    every group partitions the *whole* database over its own workers
+    (one fragment per worker, group-local fragment ids).  A query batch
+    is answered entirely inside one group, so groups scale throughput.
+``shard``
+    one *global* partition with one fragment per worker cluster-wide;
+    a group owns the contiguous fragment-id slice its workers hold.
+    Every group searches every batch against its shard and the
+    coordinator merges the pruned per-shard rankings.
+
+Failover domains follow the topology: a dead sub-master is succeeded
+from *within its group* (member-rank succession, coordinator not
+involved); a dead coordinator is succeeded by the lowest surviving
+*original* sub-master (succession list ``[0] + submasters``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MODES = ("replicate", "shard")
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One replication group: ``members[0]`` is the initial sub-master."""
+
+    gid: int
+    members: tuple[int, ...]
+
+    @property
+    def submaster(self) -> int:
+        return self.members[0]
+
+    @property
+    def workers(self) -> tuple[int, ...]:
+        """Members that hold database fragments (everyone but the
+        sub-master; a *promoted* worker keeps serving its fragments
+        in-line, but the initial layout never assigns any to
+        ``members[0]``)."""
+        return self.members[1:]
+
+    @property
+    def nfrag(self) -> int:
+        return len(self.workers)
+
+
+@dataclass(frozen=True)
+class HierTopology:
+    nprocs: int
+    mode: str
+    groups: tuple[GroupSpec, ...] = field(repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def ngroups(self) -> int:
+        return len(self.groups)
+
+    def group_of(self, rank: int) -> int | None:
+        """Group id of ``rank``; None for the coordinator (rank 0)."""
+        if rank == 0:
+            return None
+        for g in self.groups:
+            if g.members[0] <= rank <= g.members[-1]:
+                return g.gid
+        raise ValueError(f"rank {rank} outside topology of {self.nprocs}")
+
+    def submasters(self) -> tuple[int, ...]:
+        return tuple(g.submaster for g in self.groups)
+
+    def coordinator_succession(self) -> tuple[int, ...]:
+        """Coordinator candidates, in promotion order.
+
+        Only *initial* sub-masters are candidates: a worker promoted to
+        sub-master mid-run is not (documented limitation — "lowest
+        surviving sub-master" means the original ones).
+        """
+        return (0, *self.submasters())
+
+    # ---- fragment spaces ---------------------------------------------
+    @property
+    def total_fragments(self) -> int:
+        """Cluster-wide fragment count in ``shard`` mode."""
+        return sum(g.nfrag for g in self.groups)
+
+    def frag_base(self, gid: int) -> int:
+        """First fragment id of group ``gid`` (0 under ``replicate``,
+        the slice start under ``shard``)."""
+        if self.mode == "replicate":
+            return 0
+        return sum(g.nfrag for g in self.groups[:gid])
+
+    def frag_ids(self, gid: int) -> tuple[int, ...]:
+        """The fragment ids group ``gid`` is responsible for."""
+        base = self.frag_base(gid)
+        return tuple(range(base, base + self.groups[gid].nfrag))
+
+    def group_nfrag_total(self, gid: int) -> int:
+        """Size of the fragment space a group's partition call uses:
+        under ``replicate`` each group has its own whole-database
+        partition; under ``shard`` every group slices the one global
+        partition."""
+        if self.mode == "replicate":
+            return self.groups[gid].nfrag
+        return self.total_fragments
+
+    def owner_group(self, fid: int) -> int:
+        """Group owning global fragment ``fid`` (``shard`` mode)."""
+        if self.mode != "shard":
+            raise ValueError("owner_group is only meaningful under shard")
+        for g in self.groups:
+            base = self.frag_base(g.gid)
+            if base <= fid < base + g.nfrag:
+                return g.gid
+        raise ValueError(f"no group owns fragment {fid}")
+
+    # ---- fault-plan role resolution ----------------------------------
+    def role_rank(self, role: str, group: int | None) -> int:
+        """Concrete rank for a role-targeted fault
+        (:meth:`repro.simmpi.faults.FaultPlan.resolve_roles`)."""
+        if role == "coordinator":
+            return 0
+        if role == "submaster":
+            if group is None or not (0 <= group < self.ngroups):
+                raise ValueError(
+                    f"no group {group!r} in a {self.ngroups}-group topology"
+                )
+            return self.groups[group].submaster
+        raise ValueError(f"unknown role {role!r}")
+
+
+def build_topology(nprocs: int, ngroups: int, mode: str) -> HierTopology:
+    """Partition ``nprocs`` ranks into coordinator + ``ngroups`` groups.
+
+    Ranks 1..nprocs-1 are split contiguously; sizes differ by at most
+    one (larger groups first).  Every group needs a sub-master plus at
+    least one fragment-holding worker, hence ``nprocs >= 2*ngroups+1``.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if ngroups < 1:
+        raise ValueError("ngroups must be >= 1")
+    if nprocs < 2 * ngroups + 1:
+        raise ValueError(
+            f"{ngroups} groups need at least {2 * ngroups + 1} ranks "
+            f"(coordinator + per-group sub-master and worker), got {nprocs}"
+        )
+    nmembers = nprocs - 1
+    base, extra = divmod(nmembers, ngroups)
+    groups = []
+    start = 1
+    for gid in range(ngroups):
+        size = base + (1 if gid < extra else 0)
+        groups.append(
+            GroupSpec(gid=gid, members=tuple(range(start, start + size)))
+        )
+        start += size
+    return HierTopology(nprocs=nprocs, mode=mode, groups=tuple(groups))

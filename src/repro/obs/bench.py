@@ -1,13 +1,21 @@
-"""Emit the machine-readable benchmark file (``BENCH_pr8.json``).
+"""Emit the machine-readable benchmark file (``BENCH_pr9.json``).
 
 Runs the paper-regime experiments — the Table-1 32-process comparison,
-the Figure-3(a) scalability sweep, a large np=128 point, and the
+the Figure-3(a) scalability sweep, the large np=128..1024 points, the
+flat-vs-hierarchical comparison at np=256/512/1024, and the
 online-service scenario (Poisson arrivals, priority lane on/off, with
 p50/p95/p99 latency and throughput in a ``latency`` section) — with
 metrics and tracing on, and stores each run's
 :func:`repro.obs.export.run_metrics` dict (makespan, per-phase maxima,
 counter totals, makespan attribution, critical-path decomposition)
 under ``runs["<program>/np<N>"]``.
+
+The ``headline`` section distills the hierarchy's argument: per
+process count, the flat driver's worker-wait share of makespan (the
+single master is the bottleneck the workers wait on) next to the
+hierarchical runs' worst group-level coordinator-wait share
+(``hier.group_coord_wait_share_max``).  The latter collapsing while
+the former climbs past np=256 is the two-level design doing its job.
 
 Two kinds of time appear in the file and must not be confused:
 
@@ -30,9 +38,9 @@ gapped extension makes the latter routine; see PERFORMANCE.md §2).
 
 The file is the comparison baseline for :mod:`repro.obs.compare`::
 
-    python -m repro.obs.bench --out BENCH_pr8.json          # full (slow)
+    python -m repro.obs.bench --out BENCH_pr9.json          # full (slow)
     python -m repro.obs.bench --quick --out /tmp/now.json   # CI-sized
-    python -m repro.obs.compare BENCH_pr8.json /tmp/now.json
+    python -m repro.obs.compare BENCH_pr9.json /tmp/now.json
 
 ``--quick`` shrinks the workload, the process counts, and the kernel
 databases so the sweep finishes in seconds; quick files are only
@@ -68,14 +76,30 @@ from repro.workloads import (
 )
 
 #: Figure-3(a) sweep plus the Table-1 point (32 is in both) plus the
-#: large scheduler-stress points.  np=256 is the relay scheduler's
-#: first measured data point past np=128.
-FULL_COUNTS = PROCESS_COUNTS + (128, 256)
+#: large scheduler-stress points.  np=512 and np=1024 are the flat
+#: baselines the hierarchical sweep is compared against.
+FULL_COUNTS = PROCESS_COUNTS + (128, 256, 512, 1024)
 #: CI keeps the np=128 and np=256 points: they are the scheduler-heavy
 #: regime the simmpi fast path exists for, and the quick workload keeps
 #: them cheap.
 QUICK_COUNTS = (4, 8, 128, 256)
 QUICK_QUERY_BYTES = 4_000
+
+#: mpiBLAST's *physical* fragmentation cannot outgrow the database:
+#: past ~255 fragments the 600-sequence workload produces empty
+#: fragments (mpiformatdb materializes them; the karlin statistics then
+#: reject a zero-length database).  The np=512/1024 flat points reuse
+#: the np=256 fragment set — the surplus workers idle, which is itself
+#: the flat-scaling story the hierarchy answers.  pioBLAST's virtual
+#: partitioning clamps itself to the sequence count and needs no cap.
+MPIBLAST_FRAG_CAP = 255
+
+#: Flat-vs-hierarchical comparison points: (nprocs, ngroups).  Group
+#: counts track ~sqrt(np) so neither level's master serves more than a
+#: few dozen clients (see repro.hier.topology).
+HIER_POINTS = ((256, 16), (512, 16), (1024, 32))
+HIER_POINTS_QUICK = ((256, 16),)
+HIER_MODE = "replicate"
 
 #: Kernel scenarios: (program, database sequences, queries, scalar?).
 #: Sequences average 300 letters, so 10^4 sequences is a ~3 Mletter
@@ -231,10 +255,14 @@ def bench_document(
     runs: dict[str, dict] = {}
     for program in ("mpiblast", "pioblast"):
         for nprocs in counts:
+            nfrag = None
+            if program == "mpiblast" and nprocs - 1 > MPIBLAST_FRAG_CAP:
+                nfrag = MPIBLAST_FRAG_CAP
             tracer = Tracer() if trace else None
             t0 = time.perf_counter()
             _b, result, _store, _cfg = run_program_raw(
-                program, nprocs, wl, ORNL_ALTIX, tracer=tracer
+                program, nprocs, wl, ORNL_ALTIX,
+                nfragments=nfrag, tracer=tracer,
             )
             host_s = time.perf_counter() - t0
             name = f"{program}/np{nprocs}"
@@ -246,6 +274,27 @@ def bench_document(
                     f"host {host_s:.2f}s, "
                     f"{len(result.events or [])} events"
                 )
+    hier_points = HIER_POINTS_QUICK if quick else HIER_POINTS
+    for nprocs, ngroups in hier_points:
+        from repro.experiments.common import run_hier_raw
+
+        tracer = Tracer() if trace else None
+        t0 = time.perf_counter()
+        hres, _store, _cfg = run_hier_raw(
+            nprocs, wl, ORNL_ALTIX, ngroups=ngroups, mode=HIER_MODE,
+            tracer=tracer,
+        )
+        host_s = time.perf_counter() - t0
+        name = f"hier/np{nprocs}"
+        runs[name] = run_metrics(hres.result, program="hier")
+        runs[name]["host_s"] = host_s
+        if verbose:
+            share = runs[name]["hier"]["group_coord_wait_share_max"]
+            print(
+                f"{name}: makespan {hres.result.makespan:.1f}s, "
+                f"host {host_s:.2f}s, K={ngroups}, "
+                f"coord-wait share {share:.4f}"
+            )
     service_np = SERVICE_NP_QUICK if quick else SERVICE_NP
     service_rate = SERVICE_RATE_QUICK if quick else SERVICE_RATE
     for label, priority in (("prio", True), ("fifo", False)):
@@ -279,11 +328,28 @@ def bench_document(
                 f" throughput {lat['throughput_qps']:.3f} q/s, "
                 f"host {host_s:.2f}s"
             )
+    headline: dict[str, dict] = {}
+    for nprocs, ngroups in hier_points:
+        entry: dict = {"hier_groups": ngroups}
+        for program in ("mpiblast", "pioblast"):
+            r = runs.get(f"{program}/np{nprocs}")
+            if r and r.get("makespan") and "attribution_rank_max" in r:
+                entry[f"{program}_wait_share"] = (
+                    r["attribution_rank_max"].get("wait", 0.0)
+                    / r["makespan"]
+                )
+        hier_run = runs[f"hier/np{nprocs}"]
+        entry["hier_coord_wait_share"] = hier_run.get("hier", {}).get(
+            "group_coord_wait_share_max", 0.0
+        )
+        headline[f"np{nprocs}"] = entry
     return {
         "meta": {
             "source": "repro.obs.bench",
             "quick": quick,
             "process_counts": list(counts),
+            "hier_points": [list(p) for p in hier_points],
+            "hier_mode": HIER_MODE,
             "query_bytes": wl.query_bytes,
             "scheduler_fast_wakes": Engine.FAST_WAKES_DEFAULT,
             "service": {
@@ -295,6 +361,7 @@ def bench_document(
                 "interactive_max_len": SERVICE_INTERACTIVE_MAX_LEN,
             },
         },
+        "headline": headline,
         "runs": runs,
         "kernel": kernel,
     }
@@ -331,7 +398,7 @@ def main(argv: list[str] | None = None) -> int:
             "write bench JSON."
         ),
     )
-    ap.add_argument("--out", default="BENCH_pr8.json")
+    ap.add_argument("--out", default="BENCH_pr9.json")
     ap.add_argument("--quick", action="store_true",
                     help="small workload + few process counts (CI)")
     ap.add_argument("--no-trace", action="store_true",

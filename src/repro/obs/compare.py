@@ -24,9 +24,11 @@ from dataclasses import dataclass
 COMPARED_KEYS = ("makespan",)
 #: Nested dicts compared key-by-key, all "lower is better" (the
 #: ``latency`` section's throughput columns are the exception — see
-#: :func:`_higher_is_better`).
+#: :func:`_higher_is_better`).  The ``hier`` section's wait/share keys
+#: are plain lower-is-better: a coordinator or group waiting longer is
+#: a regression.
 COMPARED_SECTIONS = ("phases", "critical_path", "attribution_rank_max",
-                     "latency")
+                     "latency", "hier")
 #: Wall-clock keys, compared with the (looser) host threshold: host
 #: times are real measurements on whatever machine ran the bench, so
 #: they carry scheduling noise that virtual-time keys do not.

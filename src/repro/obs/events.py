@@ -52,6 +52,13 @@ Kinds
     is ``save`` or ``restore``, args are ``(path, payload_nbytes)``.
     The span covers the crash-consistent write (or validated read), so
     the critical-path walker can attribute checkpoint overhead.
+``group``
+    span — one group-level unit of work in a hierarchical run
+    (:mod:`repro.hier`): a sub-master processing one query batch
+    (``name == "batch"``) or writing its slice of the output
+    (``name == "write"``); args are ``(gid, batch_no, nqueries)``.
+    Emitted by the sub-master's rank; like ``query``, not consumed by
+    the critical-path walker.
 ``query``
     span — one query's life inside the online service
     (:mod:`repro.service`): ``t0`` is its arrival, ``t1`` its report
@@ -80,13 +87,15 @@ EV_FAULT = "fault"
 EV_KILL = "fault.kill"
 EV_CKPT = "ckpt"
 EV_QUERY = "query"
+EV_GROUP = "group"
 
 #: Rank used for events emitted from scheduler actions (no rank thread).
 SCHEDULER_RANK = -1
 
 #: Kinds whose events are spans (``t1 >= t0``); the rest are instants.
 SPAN_KINDS = frozenset(
-    {EV_WAIT, EV_IO, EV_IO_COLL, EV_PHASE, EV_COLL, EV_CKPT, EV_QUERY}
+    {EV_WAIT, EV_IO, EV_IO_COLL, EV_PHASE, EV_COLL, EV_CKPT, EV_QUERY,
+     EV_GROUP}
 )
 
 

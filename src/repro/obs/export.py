@@ -132,6 +132,17 @@ def run_metrics(result, *, program: str | None = None) -> dict:
         }
         if latency:
             d["latency"] = latency
+        # Hierarchical runs publish per-role wait/compute/merge time as
+        # `hier.*` gauges (see repro.hier); lift them into a `hier`
+        # section so flat-vs-hier bench points carry the coordinator
+        # and per-group wait columns.
+        hier = {
+            name[len("hier."):]: value
+            for name, value in sorted(gauges.items())
+            if name.startswith("hier.")
+        }
+        if hier:
+            d["hier"] = hier
     if result.events is not None:
         from repro.obs.critical_path import attribute_makespan, critical_path
 

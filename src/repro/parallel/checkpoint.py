@@ -194,12 +194,41 @@ class CheckpointStore:
 
 
 class FailoverTracker:
-    """One worker's view of who the master is (see module docstring)."""
+    """One worker's view of who the master is (see module docstring).
 
-    def __init__(self, ctx: ProcContext, ft: Any) -> None:
+    By default succession walks the whole rank space upward from 0 —
+    the flat-driver rule.  The hierarchy passes an explicit
+    ``succession`` list instead (a group's member ranks, or the
+    coordinator candidates ``[0] + submaster ranks``): candidates then
+    advance through that list in order, announcements from ranks
+    outside the list are ignored, and a tracker that walks off the end
+    sets :attr:`exhausted` so the caller can give up instead of
+    guessing at ranks that can never serve the role.
+    """
+
+    def __init__(
+        self,
+        ctx: ProcContext,
+        ft: Any,
+        *,
+        succession: list[int] | tuple[int, ...] | None = None,
+    ) -> None:
         self.ctx = ctx
         self.ft = ft
-        self.master = 0
+        self.succession = list(succession) if succession is not None else None
+        if self.succession is not None and not self.succession:
+            raise ValueError("succession list must not be empty")
+        self._pos = (
+            {r: i for i, r in enumerate(self.succession)}
+            if self.succession is not None
+            else None
+        )
+        self._idx = 0
+        self.master = (
+            self.succession[0] if self.succession is not None else 0
+        )
+        #: True once an explicit succession list ran out of candidates.
+        self.exhausted = False
         #: True while ``master`` is a silence-advanced *candidate* we
         #: have never actually heard from (vs a master that spoke).
         self.guessing = False
@@ -208,7 +237,7 @@ class FailoverTracker:
     @property
     def promoted(self) -> bool:
         """True once succession has reached this worker's own rank."""
-        return self.master == self.ctx.rank
+        return not self.exhausted and self.master == self.ctx.rank
 
     def heard(self) -> None:
         """The current master just spoke (reply, ping or fetch)."""
@@ -231,13 +260,37 @@ class FailoverTracker:
         if sender == self.master:
             self.heard()
             return False
-        if sender != self.ctx.rank and (
-            self.guessing or sender > self.master
-        ):
+        if sender == self.ctx.rank:
+            return False
+        if self._pos is not None:
+            if sender not in self._pos:
+                return False  # not a legal successor for this role
+            ahead = self._pos[sender] > self._pos.get(self.master, -1)
+        else:
+            ahead = sender > self.master
+        if self.guessing or ahead:
             self.master = sender
+            if self._pos is not None:
+                self._idx = self._pos[sender]
+                self.exhausted = False
             self.heard()
             return True
         return False
+
+    def force_promote(self) -> None:
+        """A graceful handoff named this rank as the next master.
+
+        Unlike :meth:`announce` (which ignores a worker's own rank —
+        pings normally carry the *sender's* claim of mastership), this
+        is invoked when a departing master explicitly designates us as
+        its successor, so no silence window has to elapse first.
+        """
+        if self._pos is not None:
+            self._idx = self._pos.get(self.ctx.rank, self._idx)
+        self.master = self.ctx.rank
+        self.exhausted = False
+        self.guessing = False
+        self.last_heard = self.ctx.engine.now
 
     def tick(self) -> bool:
         """Call on every receive timeout; advances the candidate after
@@ -247,10 +300,25 @@ class FailoverTracker:
         now = self.ctx.engine.now
         if now - self.last_heard <= self.ft.failover_silence:
             return False
+        if self.succession is not None and (
+            self._idx + 1 >= len(self.succession)
+        ):
+            if not self.exhausted:
+                self.exhausted = True
+                self.ctx.fault_report.record(
+                    now, "detect:succession-exhausted",
+                    self.master, self.ctx.rank,
+                )
+            self.last_heard = now
+            return False
         self.ctx.fault_report.record(
             now, "detect:master-dead", self.master, self.ctx.rank
         )
-        self.master += 1
+        if self.succession is None:
+            self.master += 1
+        else:
+            self._idx += 1
+            self.master = self.succession[self._idx]
         self.guessing = True
         self.last_heard = now
         return True

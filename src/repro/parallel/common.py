@@ -57,6 +57,34 @@ def footer_bytes_for(
     return writer.query_footer(space)
 
 
+def layout_query_section(
+    writer: ReportWriter,
+    engine: BlastSearch,
+    query: SeqRecord,
+    selected: list[AlignmentMeta],
+    info: GlobalDbInfo,
+    offset: int,
+) -> tuple[bytes, list[tuple[AlignmentMeta, int]], bytes, int]:
+    """Place one query's report section starting at ``offset``.
+
+    The section is ``header · blocks (in selection order) · footer``;
+    block sizes come from the metas, so any rank that holds the
+    selection can compute the same byte-exact layout without touching
+    the block data.  Returns ``(header, [(meta, block_offset)...],
+    footer, end_offset)`` — the caller writes the header at ``offset``,
+    each block at its paired offset, and the footer just before
+    ``end_offset``.
+    """
+    header = header_bytes_for(writer, query, selected)
+    off = offset + len(header)
+    placed = []
+    for m in selected:
+        placed.append((m, off))
+        off += m.block_nbytes
+    footer = footer_bytes_for(writer, engine, query, info)
+    return header, placed, footer, off + len(footer)
+
+
 def search_fragment_timed(
     ctx,
     engine: BlastSearch,

@@ -60,7 +60,7 @@ from repro.parallel.checkpoint import (
 )
 from repro.parallel.config import ParallelConfig
 from repro.parallel.fragments import fragment_paths
-from repro.parallel.results import AlignmentMeta, merge_select, meta_from_alignment
+from repro.parallel.results import AlignmentMeta, meta_from_alignment, select_metas
 from repro.simmpi import FileStore, PlatformSpec, ProcContext, RunResult, Status
 from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, TIMEOUT
 from repro.simmpi.faults import FaultPlan, retry_io
@@ -151,15 +151,13 @@ def _master(ctx: ProcContext, cfg: ParallelConfig) -> None:
         ctx.fs.write(out, 0, pre, charge_bytes=cost.wire_bytes(len(pre)))
         offset = len(pre)
         for qi, qrec in enumerate(queries):
-            candidates = results[qi]
             # Centralized screening of full result-alignment structures,
             # then the global-statistics filter that restores exactly the
             # serial result list.
-            ctx.compute(cost.candidate_processing_seconds(len(candidates)))
-            passing = [
-                m for m in candidates if m.evalue <= cfg.search.expect
-            ]
-            selected = merge_select(passing, cfg.search.max_alignments)
+            selected = select_metas(
+                ctx, cost, results[qi], cfg.search.max_alignments,
+                expect=cfg.search.expect,
+            )
             header = header_bytes_for(writer, qrec, selected)
             ctx.fs.write(
                 out, offset, header, charge_bytes=cost.wire_bytes(len(header))
@@ -574,14 +572,10 @@ def _ft_master(
             rwrite(0, pre)
             offset = len(pre)
             for qi, qrec in enumerate(queries):
-                candidates = per_query[qi]
-                ctx.compute(
-                    cost.candidate_processing_seconds(len(candidates))
+                selected = select_metas(
+                    ctx, cost, per_query[qi], cfg.search.max_alignments,
+                    expect=cfg.search.expect,
                 )
-                passing = [
-                    m for m in candidates if m.evalue <= cfg.search.expect
-                ]
-                selected = merge_select(passing, cfg.search.max_alignments)
                 header = header_bytes_for(writer, qrec, selected)
                 rwrite(offset, header)
                 offset += len(header)
@@ -835,11 +829,20 @@ def _ft_worker(ctx: ProcContext, cfg: ParallelConfig) -> str:
             comm.isend(
                 (ctx.rank, seq, kind, data), dest=fo.master, tag=TAG_FT_REQ
             )
+            sent = ctx.engine.now
             while True:
+                # Absolute resend deadline: heartbeats, fetches and peer
+                # traffic must not keep extending the receive, or a
+                # request dropped by a not-yet-promoted successor is
+                # never re-issued while its pings keep arriving.
+                remaining = ft.req_timeout - (ctx.engine.now - sent)
+                if remaining <= 0:
+                    fo.tick()
+                    break  # resend (possibly to a new candidate)
                 st = Status()
                 reply = comm.recv_with_timeout(
                     source=ANY_SOURCE, tag=ANY_TAG,
-                    timeout=ft.req_timeout, status=st,
+                    timeout=remaining, status=st,
                 )
                 if reply is TIMEOUT:
                     fo.tick()

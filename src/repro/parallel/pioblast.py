@@ -54,8 +54,7 @@ from repro.blast.hsp import Alignment
 from repro.parallel.assignment import GreedyAssigner
 from repro.parallel.common import (
     GlobalDbInfo,
-    footer_bytes_for,
-    header_bytes_for,
+    layout_query_section,
     parse_index,
     read_queries_bytes,
     search_fragment_timed,
@@ -70,7 +69,7 @@ from repro.parallel.config import ParallelConfig
 from repro.blast.formatdb import DatabaseVolume
 from repro.parallel.fragments import VolumePiece
 from repro.parallel.pruning import prune_metas, score_cutlines
-from repro.parallel.results import AlignmentMeta, merge_select, meta_from_alignment
+from repro.parallel.results import AlignmentMeta, meta_from_alignment, select_metas
 from repro.parallel.warmdb import (
     check_fingerprint,
     fingerprint_database,
@@ -211,20 +210,19 @@ def _master(ctx: ProcContext, cfg: ParallelConfig) -> None:
             }  # worker -> [(local_id, file offset)]
             for qi in range(qhi - qlo):
                 qrec = queries[qlo + qi]
-                candidates = per_query[qi]
-                ctx.compute(cost.merge_seconds(len(candidates)))
-                selected = merge_select(candidates, cfg.search.max_alignments)
-                header = header_bytes_for(writer, qrec, selected)
+                selected = select_metas(
+                    ctx, cost, per_query[qi], cfg.search.max_alignments
+                )
+                header, placed, footer, end = layout_query_section(
+                    writer, engine, qrec, selected, info, offset
+                )
                 master_regions.append((offset, len(header)))
                 master_buffers.append(header)
-                offset += len(header)
-                for m in selected:
-                    selections[m.owner_rank].append((m.local_id, offset))
-                    offset += m.block_nbytes
-                footer = footer_bytes_for(writer, engine, qrec, info)
-                master_regions.append((offset, len(footer)))
+                for m, boff in placed:
+                    selections[m.owner_rank].append((m.local_id, boff))
+                master_regions.append((end - len(footer), len(footer)))
                 master_buffers.append(footer)
-                offset += len(footer)
+                offset = end
 
             if cfg.collective_output:
                 # Notify workers of their selected blocks + offsets.
@@ -569,20 +567,20 @@ def _ft_master(
         off = len(pre)
         for qi, qrec in enumerate(queries):
             ping_workers()
-            ctx.compute(cost.merge_seconds(len(per_query[qi])))
-            selected = merge_select(per_query[qi], cfg.search.max_alignments)
-            header = header_bytes_for(writer, qrec, selected)
+            selected = select_metas(
+                ctx, cost, per_query[qi], cfg.search.max_alignments
+            )
+            header, placed, footer, end = layout_query_section(
+                writer, engine, qrec, selected, info, off
+            )
             pieces.append((off, header))
-            off += len(header)
-            for m in selected:
+            for m, boff in placed:
                 # owner_rank carries the fragment id in FT mode
                 sel_by_fid.setdefault(m.owner_rank, []).append(
-                    (m.local_id, off)
+                    (m.local_id, boff)
                 )
-                off += m.block_nbytes
-            footer = footer_bytes_for(writer, engine, qrec, info)
-            pieces.append((off, footer))
-            off += len(footer)
+            pieces.append((end - len(footer), footer))
+            off = end
         return pieces, sel_by_fid
 
     def start_output_round(writable: set[int]) -> None:
@@ -888,11 +886,20 @@ def _ft_worker(ctx: ProcContext, cfg: ParallelConfig) -> str:
             comm.isend(
                 (ctx.rank, seq, kind, data), dest=fo.master, tag=TAG_FT_REQ
             )
+            sent = ctx.engine.now
             while True:
+                # Absolute resend deadline: heartbeats and peer traffic
+                # must not keep extending the receive, or a request
+                # dropped by a not-yet-promoted successor is never
+                # re-issued while its pings keep arriving.
+                remaining = ft.req_timeout - (ctx.engine.now - sent)
+                if remaining <= 0:
+                    fo.tick()
+                    break  # resend (possibly to a new candidate)
                 st = Status()
                 reply = comm.recv_with_timeout(
                     source=ANY_SOURCE, tag=ANY_TAG,
-                    timeout=ft.req_timeout, status=st,
+                    timeout=remaining, status=st,
                 )
                 if reply is TIMEOUT:
                     fo.tick()

@@ -67,3 +67,35 @@ def merge_select(
 ) -> list[AlignmentMeta]:
     """Rank candidates for one query and keep the global top list."""
     return sorted(metas, key=AlignmentMeta.sort_key)[:max_alignments]
+
+
+def select_metas(
+    ctx,
+    cost,
+    candidates: list[AlignmentMeta],
+    max_alignments: int,
+    *,
+    expect: float | None = None,
+) -> list[AlignmentMeta]:
+    """The master-side per-query screen + rank, virtual time included.
+
+    Every master in the tree — mpiBLAST's serialized output pass,
+    pioBLAST's layout step, the service wave loop, and the hierarchy's
+    group masters — runs this same step: charge the model cost of
+    sifting one query's candidate pile, then rank with
+    :func:`merge_select`.  The two historical flavors differ only in
+    what the master re-screens:
+
+    * ``expect`` given (mpiBLAST, paper §3.2): the master re-applies
+      the global-statistics e-value filter to full result structures,
+      charged as ``candidate_processing_seconds``.
+    * ``expect=None`` (pioBLAST and descendants): workers already
+      filtered; the master only merges metadata, charged as
+      ``merge_seconds``.
+    """
+    if expect is not None:
+        ctx.compute(cost.candidate_processing_seconds(len(candidates)))
+        candidates = [m for m in candidates if m.evalue <= expect]
+    else:
+        ctx.compute(cost.merge_seconds(len(candidates)))
+    return merge_select(candidates, max_alignments)

@@ -55,7 +55,7 @@ from repro.parallel.common import (
     writer_for,
 )
 from repro.parallel.config import FTParams, ParallelConfig
-from repro.parallel.results import merge_select
+from repro.parallel.results import select_metas
 from repro.parallel.warmdb import (
     check_fingerprint,
     fingerprint_database,
@@ -278,9 +278,8 @@ def _master(
         selected_per_q = []
         for i in range(len(wave)):
             cand = [m for f in sorted(got) for m in got[f][i]]
-            ctx.compute(cost.merge_seconds(len(cand)))
             selected_per_q.append(
-                merge_select(cand, cfg.search.max_alignments)
+                select_metas(ctx, cost, cand, cfg.search.max_alignments)
             )
         needed: list[tuple[int, int]] = []
         for sel in selected_per_q:

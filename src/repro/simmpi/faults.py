@@ -59,6 +59,27 @@ class CrashFault:
     time: float
 
 
+#: Role names :class:`RoleCrashFault` accepts.
+CRASH_ROLES = ("coordinator", "submaster")
+
+
+@dataclass(frozen=True)
+class RoleCrashFault:
+    """Kill whichever rank initially holds ``role`` at time ``time``.
+
+    Chaos tests target "the coordinator" or "group 2's sub-master"
+    without hardcoding rank numbers — the topology decides those.  Only
+    a hierarchical driver knows the role→rank mapping, so these specs
+    must be rewritten into concrete :class:`CrashFault` events with
+    :meth:`FaultPlan.resolve_roles` before the run starts; activating a
+    plan that still contains role kills raises :exc:`SimError`.
+    """
+
+    role: str  # one of CRASH_ROLES
+    group: int | None  # the sub-master's group id; None for coordinator
+    time: float
+
+
 @dataclass(frozen=True)
 class DiskSlowdownFault:
     """Degrade the shared filesystem pipe to ``factor`` × nominal speed
@@ -154,6 +175,7 @@ class BitFlipFault:
 
 FaultEventSpec = (
     CrashFault
+    | RoleCrashFault
     | DiskSlowdownFault
     | NetworkSlowdownFault
     | TransientIOFault
@@ -271,6 +293,24 @@ class FaultPlan:
         for ev in self.events:
             if isinstance(ev, CrashFault) and ev.time < 0:
                 raise ValueError(f"crash in the past: {ev}")
+            if isinstance(ev, RoleCrashFault):
+                if ev.time < 0:
+                    raise ValueError(f"crash in the past: {ev}")
+                if ev.role not in CRASH_ROLES:
+                    raise ValueError(
+                        f"unknown crash role {ev.role!r} "
+                        f"(valid roles: {', '.join(CRASH_ROLES)})"
+                    )
+                if ev.role == "submaster" and (
+                    ev.group is None or ev.group < 0
+                ):
+                    raise ValueError(
+                        f"submaster crash needs a group id >= 0: {ev}"
+                    )
+                if ev.role == "coordinator" and ev.group is not None:
+                    raise ValueError(
+                        f"coordinator crash takes no group id: {ev}"
+                    )
             if isinstance(ev, (DiskSlowdownFault, NetworkSlowdownFault)):
                 if ev.duration <= 0 or ev.factor <= 0:
                     raise ValueError(f"bad slowdown window: {ev}")
@@ -369,6 +409,11 @@ class FaultPlan:
 
             seed=42                    RNG seed for probabilistic faults
             kill=R@T                   crash rank R at time T
+            crash=coordinator@T        crash the hierarchy coordinator
+            crash=submaster:gN@T       crash group N's sub-master
+                                       (role kills resolve to ranks via
+                                       FaultPlan.resolve_roles; only
+                                       hierarchical runs accept them)
             slowdisk=FxD@T             disk at F x speed for D s from T
             netslow=FxD@T              network F x slower for D s from T
             straggler=RxF@T            rank R computes at F x speed from T
@@ -403,6 +448,29 @@ class FaultPlan:
             elif key == "kill":
                 r, t = val.split("@")
                 events.append(CrashFault(int(r), float(t)))
+            elif key == "crash":
+                role, t = val.split("@")
+                role = role.strip()
+                if role == "coordinator":
+                    events.append(
+                        RoleCrashFault("coordinator", None, float(t))
+                    )
+                elif role.startswith("submaster:g"):
+                    gid = role[len("submaster:g"):]
+                    try:
+                        group = int(gid)
+                    except ValueError:
+                        raise ValueError(
+                            f"bad submaster group {gid!r} in {tok!r}"
+                        ) from None
+                    events.append(
+                        RoleCrashFault("submaster", group, float(t))
+                    )
+                else:
+                    valid = "coordinator, submaster:g<N>"
+                    raise ValueError(
+                        f"unknown crash role {role!r} (valid roles: {valid})"
+                    )
             elif key in ("slowdisk", "netslow"):
                 fxd, t = val.split("@")
                 f, d = fxd.split("x")
@@ -438,8 +506,8 @@ class FaultPlan:
                 )
             else:
                 valid = (
-                    "seed, kill, slowdisk, netslow, straggler, ioerr, "
-                    "torn, bitflip, drop"
+                    "seed, kill, crash, slowdisk, netslow, straggler, "
+                    "ioerr, torn, bitflip, drop"
                 )
                 raise ValueError(
                     f"unknown fault kind {key!r} (valid kinds: {valid})"
@@ -452,6 +520,28 @@ class FaultPlan:
 
     def crashes(self) -> list[CrashFault]:
         return [e for e in self.events if isinstance(e, CrashFault)]
+
+    def role_crashes(self) -> list[RoleCrashFault]:
+        return [e for e in self.events if isinstance(e, RoleCrashFault)]
+
+    def resolve_roles(
+        self, resolver: "Callable[[str, int | None], int]"
+    ) -> "FaultPlan":
+        """Rewrite role-targeted kills into concrete rank crashes.
+
+        ``resolver(role, group)`` maps e.g. ``("submaster", 2)`` to the
+        rank the topology placed in that role (raising on unknown
+        groups).  Plans without role kills are returned unchanged.
+        """
+        if not self.role_crashes():
+            return self
+        events = tuple(
+            CrashFault(resolver(ev.role, ev.group), ev.time)
+            if isinstance(ev, RoleCrashFault)
+            else ev
+            for ev in self.events
+        )
+        return FaultPlan(events=events, seed=self.seed)
 
     # -- activation -----------------------------------------------------
     def activate(self, cluster: "Cluster") -> "ActiveFaults":
@@ -518,6 +608,12 @@ class ActiveFaults:
         eng.on_rank_killed = _on_killed
 
         for ev in plan.events:
+            if isinstance(ev, RoleCrashFault):
+                raise SimError(
+                    f"unresolved role-targeted fault {ev}: only "
+                    "hierarchical runs know the role->rank mapping "
+                    "(FaultPlan.resolve_roles)"
+                )
             if isinstance(ev, CrashFault):
                 if ev.rank >= cluster.nprocs:
                     raise SimError(

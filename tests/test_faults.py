@@ -106,6 +106,38 @@ class TestFaultPlan:
         with pytest.raises(ValueError):
             FaultPlan(events=(StragglerFault(1, 0.0),))
 
+    def test_parse_role_kills(self):
+        plan = FaultPlan.parse("crash=coordinator@5, crash=submaster:g2@40")
+        coord, sub = plan.role_crashes()
+        assert (coord.role, coord.group, coord.time) == ("coordinator", None, 5.0)
+        assert (sub.role, sub.group, sub.time) == ("submaster", 2, 40.0)
+
+    def test_resolve_roles_rewrites_to_concrete_ranks(self):
+        from repro.hier import build_topology
+
+        topo = build_topology(13, 3, "replicate")
+        plan = FaultPlan.parse(
+            "kill=4@1, crash=coordinator@5, crash=submaster:g2@40"
+        )
+        resolved = plan.resolve_roles(topo.role_rank)
+        assert resolved.role_crashes() == []
+        assert resolved.crashes() == [
+            CrashFault(4, 1.0),
+            CrashFault(0, 5.0),
+            CrashFault(topo.groups[2].submaster, 40.0),
+        ]
+        # plans without role kills pass through unchanged (same object)
+        plain = FaultPlan.parse("kill=4@1")
+        assert plain.resolve_roles(topo.role_rank) is plain
+
+    def test_role_kill_validation(self):
+        with pytest.raises(ValueError, match="unknown crash role"):
+            FaultPlan.parse("crash=viceroy@5")
+        with pytest.raises(ValueError, match="bad submaster group"):
+            FaultPlan.parse("crash=submaster:gX@5")
+        with pytest.raises(ValueError, match="crash in the past"):
+            FaultPlan.parse("crash=coordinator@-1")
+
     def test_random_is_deterministic(self):
         a = FaultPlan.random(7, 6, droppable_tags=(40, 41))
         b = FaultPlan.random(7, 6, droppable_tags=(40, 41))

@@ -24,13 +24,16 @@ from repro.obs.compare import compare_bench
 from repro.obs.compare import main as compare_main
 
 
-def _doc(*, makespan=100.0, host_s=None, latency=None, quick=None):
+def _doc(*, makespan=100.0, host_s=None, latency=None, hier=None,
+         quick=None, name="service-prio/np16"):
     run = {"makespan": makespan}
     if host_s is not None:
         run["host_s"] = host_s
     if latency is not None:
         run["latency"] = latency
-    doc = {"runs": {"service-prio/np16": run}}
+    if hier is not None:
+        run["hier"] = hier
+    doc = {"runs": {name: run}}
     if quick is not None:
         doc["meta"] = {"quick": quick}
     return doc
@@ -72,6 +75,43 @@ class TestLatencySection:
         (d,) = compare_bench(old, new)
         assert d.key == "latency.lanes.interactive.p95_s"
         assert d.regression
+
+
+# ----------------------------------------------------------------------
+# hier section in the comparison (two-level driver runs)
+# ----------------------------------------------------------------------
+class TestHierSection:
+    def test_wait_share_growth_is_regression(self):
+        """Every hier key is plain lower-is-better: a group waiting
+        longer on its coordinator is the hierarchy losing its point."""
+        old = _doc(hier={"group_coord_wait_share_max": 0.01}, name="hier/np256")
+        new = _doc(hier={"group_coord_wait_share_max": 0.20}, name="hier/np256")
+        (d,) = compare_bench(old, new)
+        assert d.key == "hier.group_coord_wait_share_max"
+        assert d.regression and "WORSE" in d.render()
+
+    def test_wait_drop_is_improvement(self):
+        old = _doc(hier={"group.g3.coord_wait_s": 40.0}, name="hier/np256")
+        new = _doc(hier={"group.g3.coord_wait_s": 4.0}, name="hier/np256")
+        (d,) = compare_bench(old, new)
+        assert not d.regression and "better" in d.render()
+
+    def test_missing_section_is_silent(self):
+        """A baseline without hier runs (pre-hierarchy bench files)
+        produces no hier deltas — only keys both sides share compare."""
+        old = _doc(name="hier/np256")
+        new = _doc(hier={"coordinator.wait_share": 0.9}, name="hier/np256")
+        assert compare_bench(old, new) == []
+
+    def test_hier_regression_through_cli(self, tmp_path):
+        old = _write(tmp_path, "old.json",
+                     _doc(hier={"group_coord_wait_share_max": 0.01},
+                          name="hier/np1024"))
+        new = _write(tmp_path, "new.json",
+                     _doc(hier={"group_coord_wait_share_max": 0.5},
+                          name="hier/np1024"))
+        assert compare_main([old, new]) == 1
+        assert compare_main([old, old]) == 0
 
 
 # ----------------------------------------------------------------------
