@@ -1,4 +1,4 @@
-# Test tiers (see FAULTS.md §5).
+# Test tiers (see FAULTS.md §7).
 #
 #   make test       - tier 1: the fast default suite (chaos tests excluded
 #                     via the `-m 'not chaos'` addopts in pyproject.toml)
@@ -8,22 +8,27 @@
 #   make report     - assemble archived benchmark tables
 #   make bench-json - run the table1/fig3a/np128..1024/flat-vs-hier/service
 #                     sweep plus the kernel scenarios with tracing on and
-#                     write BENCH_pr9.json (slow; see OBSERVABILITY.md §6,
+#                     write BENCH_pr10.json (slow; see OBSERVABILITY.md §6,
 #                     PERFORMANCE.md)
 #   make perf-smoke - CI-sized wall-clock gate: quick bench under a hard
 #                     host-time budget, then diff against the committed
-#                     quick baseline (BENCH_pr9_quick.json)
+#                     quick baseline (BENCH_pr10_quick.json)
 #   make service-smoke - online-service smoke: Poisson arrivals at
 #                     np=16 under a wall-clock budget, latency table +
 #                     byte-identity against the serial oracle
 #   make hier-smoke - two-level driver smoke: np=64 in 4 replication
 #                     groups with a sub-master kill, byte-identity
 #                     against the serial oracle under a wall-clock budget
+#   make hier-service-smoke - elastic service smoke: np=32 in 4 groups
+#                     serving a Poisson stream with a whole group killed
+#                     mid-run, byte-identity against the serial oracle
+#                     under a wall-clock budget
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos report bench-json perf-smoke service-smoke hier-smoke
+.PHONY: test chaos report bench-json perf-smoke service-smoke hier-smoke \
+	hier-service-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,13 +40,13 @@ report:
 	$(PYTHON) -m repro report
 
 bench-json:
-	$(PYTHON) -m repro.obs.bench --out BENCH_pr9.json
-	$(PYTHON) -m repro.obs.bench --quick --out BENCH_pr9_quick.json
+	$(PYTHON) -m repro.obs.bench --out BENCH_pr10.json
+	$(PYTHON) -m repro.obs.bench --quick --out BENCH_pr10_quick.json
 
 perf-smoke:
 	$(PYTHON) -m repro.obs.bench --quick --host-budget 120 \
 		--out /tmp/perf_smoke.json
-	$(PYTHON) -m repro.obs.compare BENCH_pr9_quick.json \
+	$(PYTHON) -m repro.obs.compare BENCH_pr10_quick.json \
 		/tmp/perf_smoke.json --host-threshold 3.0
 
 service-smoke:
@@ -51,3 +56,7 @@ service-smoke:
 hier-smoke:
 	$(PYTHON) -m repro hier --nprocs 64 --groups 4 \
 		--faults 'crash=submaster:g2@40' --verify-oracle --host-budget 90
+
+hier-service-smoke:
+	$(PYTHON) -m repro hier-service --nprocs 32 --groups 4 \
+		--faults 'crash=group:g1@40' --verify-oracle --host-budget 90

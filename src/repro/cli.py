@@ -405,6 +405,156 @@ def _cmd_hier(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hier_service(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.common import (
+        ExperimentWorkload,
+        run_hier_service_raw,
+    )
+    from repro.hier import ElasticConfig
+    from repro.platforms import PLATFORMS
+    from repro.service import ServiceConfig
+    from repro.simmpi import FaultPlan
+    from repro.workloads import SynthSpec
+
+    faults = None
+    if args.faults is not None:
+        try:
+            faults = FaultPlan.parse(args.faults)
+        except ValueError as e:
+            print(f"bad --faults spec: {e}", file=sys.stderr)
+            return 2
+
+    def parse_pairs(specs, what):
+        out = []
+        for tok in specs or ():
+            try:
+                a, b = tok.split("@", 1)
+                out.append((int(a), float(b)))
+            except ValueError:
+                raise ValueError(
+                    f"bad --{what} spec {tok!r} (expected N@TIME)"
+                ) from None
+        return tuple(out)
+
+    try:
+        joins = parse_pairs(args.join, "join")
+        drains = parse_pairs(args.drain, "drain")
+    except ValueError as e:
+        print(str(e), file=sys.stderr)
+        return 2
+    for opt, path in (("--trace", args.trace),
+                      ("--metrics-json", args.metrics_json)):
+        if path is None:
+            continue
+        parent = pathlib.Path(path).resolve().parent
+        if not parent.is_dir():
+            print(f"bad {opt} path: directory does not exist: {parent}",
+                  file=sys.stderr)
+            return 2
+    trace_text = None
+    if args.arrivals is not None:
+        trace_text = pathlib.Path(args.arrivals).read_text()
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    wl = ExperimentWorkload(
+        db_spec=SynthSpec(
+            num_sequences=args.db_sequences, mean_length=args.mean_length,
+        ),
+        query_bytes=args.query_bytes,
+    )
+    scfg = ServiceConfig(
+        max_wave=args.max_wave,
+        admission_delay=args.admission_delay,
+        priority=not args.no_priority,
+        interactive_max_len=args.interactive_max_len,
+        shed_threshold=args.shed_threshold,
+    )
+    ecfg = ElasticConfig(joins=joins, drains=drains,
+                         recovery_attempts=args.recovery_attempts,
+                         redispatch_timeout=args.redispatch_timeout)
+    platform = PLATFORMS[args.platform]
+    mode = "shard" if args.shard else "replicate"
+    t0 = time.perf_counter()
+    try:
+        sres, store, cfg = run_hier_service_raw(
+            args.nprocs, wl, platform,
+            ngroups=args.groups, mode=mode,
+            rate=args.rate, arrival_seed=args.seed, trace_text=trace_text,
+            service=scfg, elastic=ecfg, faults=faults, tracer=tracer,
+        )
+    except ValueError as e:
+        print(f"bad topology: {e}", file=sys.stderr)
+        return 2
+    host_s = time.perf_counter() - t0
+    result = sres.result
+    topo = sres.topology
+    lat = sres.latency
+    gsizes = [len(g.members) for g in topo.groups]
+    print(
+        f"hier-service on {platform.name}, {args.nprocs} processes: "
+        f"{len(topo.initial_groups)}+{len(topo.latent)} {mode} groups "
+        f"of {min(gsizes)}-{max(gsizes)} ranks "
+        f"({lat['all']['count']} queries, {sres.waves} waves, "
+        f"{sres.regroups} regroup events)"
+    )
+    rows = [("all", lat["all"])] + sorted(lat["lanes"].items())
+    print(f"  {'lane':<12} {'n':>5} {'p50':>9} {'p95':>9} {'p99':>9} "
+          f"{'mean':>9} {'max':>9}")
+    for name, s in rows:
+        print(f"  {name:<12} {s['count']:>5} {s['p50_s']:>9.3f} "
+              f"{s['p95_s']:>9.3f} {s['p99_s']:>9.3f} "
+              f"{s['mean_s']:>9.3f} {s['max_s']:>9.3f}")
+    print(f"  span {lat['span_s']:.2f} s, throughput "
+          f"{lat['throughput_qps']:.3f} q/s, makespan "
+          f"{result.makespan:.2f} s (host {host_s:.1f} s)")
+    if sres.degraded_queries or sres.shed_queries:
+        print(f"  degraded {sres.degraded_queries} queries "
+              f"(missing fragments), shed {sres.shed_queries} at "
+              f"admission")
+    print(f"  report: {store.size(cfg.output_path):,} bytes at "
+          f"'{cfg.output_path}' (virtual filesystem)")
+    if faults is not None:
+        from repro.parallel import fault_summary
+
+        print(fault_summary(result) or
+              "faults: none injected, none detected")
+    if args.verify_oracle:
+        from repro.parallel import run_serial_reference
+
+        oracle = run_serial_reference(store, cfg, output_path="_oracle.out")
+        if sres.report == oracle:
+            print("  oracle: service report is byte-identical to the "
+                  "serial reference")
+        elif sres.degraded_queries or sres.shed_queries:
+            print("  oracle: report degraded (expected: fragments lost "
+                  "or queries shed)")
+        else:
+            print("  oracle: MISMATCH against the serial reference",
+                  file=sys.stderr)
+            return 1
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, result.events, result.nprocs)
+        print(f"  trace: {len(result.events)} events -> {args.trace} "
+              "(EV_REGROUP spans show elastic membership events)")
+    if args.metrics_json is not None:
+        from repro.obs import write_run_metrics
+
+        write_run_metrics(args.metrics_json, result, program="hier-service")
+        print(f"  metrics: -> {args.metrics_json}")
+    if args.host_budget is not None and host_s > args.host_budget:
+        print(f"host budget exceeded: {host_s:.1f} s > "
+              f"{args.host_budget:.1f} s", file=sys.stderr)
+        return 3
+    return 0
+
+
 _EXPERIMENTS = {
     "table1": ("repro.experiments.table1", "run_table1", "render_table1"),
     "table2": ("repro.experiments.table2", "run_table2", None),
@@ -606,6 +756,81 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit 3 if the run needs more wall-clock than "
                    "this (CI smoke guard)")
     h.set_defaults(func=_cmd_hier)
+
+    hs = sub.add_parser(
+        "hier-service",
+        help="online query service through elastic replication groups "
+        "(group join/drain, group-loss recovery, degraded answers)",
+    )
+    hs.add_argument("--nprocs", type=int, default=32)
+    hs.add_argument("--groups", type=int, default=4,
+                    help="number of initial replication groups (default 4)")
+    placement2 = hs.add_mutually_exclusive_group()
+    placement2.add_argument("--replicate", action="store_true",
+                            help="each group holds the whole database "
+                            "(default)")
+    placement2.add_argument("--shard", action="store_true",
+                            help="one global partition; groups own "
+                            "fragment slices")
+    hs.add_argument("--platform", choices=["altix", "blade"],
+                    default="altix")
+    hs.add_argument("--db-sequences", type=int, default=300)
+    hs.add_argument("--mean-length", type=int, default=200)
+    hs.add_argument("--query-bytes", type=int, default=6000)
+    hs.add_argument("--rate", type=float, default=0.1,
+                    help="Poisson arrival rate in queries per virtual "
+                    "second (default 0.1)")
+    hs.add_argument("--seed", type=int, default=0,
+                    help="arrival-stream seed (default 0)")
+    hs.add_argument("--arrivals", default=None, metavar="FILE",
+                    help="replay an arrival trace file instead of a "
+                    "Poisson stream")
+    hs.add_argument("--max-wave", type=int, default=8,
+                    help="admission batch size (default 8)")
+    hs.add_argument("--admission-delay", type=float, default=20.0,
+                    help="max virtual seconds a queued query waits "
+                    "before a wave departs anyway (default 20)")
+    hs.add_argument("--no-priority", action="store_true",
+                    help="disable the interactive priority lane")
+    hs.add_argument("--interactive-max-len", type=int, default=120,
+                    help="sequences up to this length ride the "
+                    "interactive lane (default 120)")
+    hs.add_argument("--shed-threshold", type=int, default=0,
+                    help="shed arrivals once this many queries are "
+                    "queued (0 disables; default 0)")
+    hs.add_argument("--join", action="append", metavar="N@TIME",
+                    help="reserve an N-rank group that joins at virtual "
+                    "TIME (repeatable)")
+    hs.add_argument("--drain", action="append", metavar="GID@TIME",
+                    help="drain group GID at virtual TIME (repeatable)")
+    hs.add_argument("--recovery-attempts", type=int, default=3,
+                    help="re-replication probes per lost fragment "
+                    "before declaring it permanently lost (default 3)")
+    hs.add_argument("--redispatch-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="steal a group's in-flight wave after this much "
+                    "virtual-time silence instead of waiting out the "
+                    "group-death budget (default: the death budget; "
+                    "see FAULTS.md §5)")
+    hs.add_argument("--faults", default=None, metavar="SPEC",
+                    help="fault-injection plan (see FAULTS.md); role "
+                    "events 'crash=coordinator@T', 'crash=submaster:gN@T' "
+                    "and 'crash=group:gN@T' resolve against the topology")
+    hs.add_argument("--verify-oracle", action="store_true",
+                    help="also run the serial reference and fail unless "
+                    "the report is byte-identical (degraded/shed runs "
+                    "are reported, not failed)")
+    hs.add_argument("--trace", default=None, metavar="FILE",
+                    help="write a Chrome/Perfetto trace (EV_REGROUP "
+                    "spans show elastic membership events)")
+    hs.add_argument("--metrics-json", default=None, metavar="FILE",
+                    help="write machine-readable run metrics including "
+                    "the latency and hier sections")
+    hs.add_argument("--host-budget", type=float, default=None,
+                    metavar="SECONDS",
+                    help="exit 3 if the run needs more wall-clock than "
+                    "this (CI smoke guard)")
+    hs.set_defaults(func=_cmd_hier_service)
 
     e = sub.add_parser("experiment", help="run a paper table/figure harness")
     e.add_argument("which", choices=sorted(_EXPERIMENTS))

@@ -252,6 +252,50 @@ def run_hier_raw(
     return hres, store, cfg
 
 
+def run_hier_service_raw(
+    nprocs: int,
+    wl: ExperimentWorkload,
+    platform: PlatformSpec = ORNL_ALTIX,
+    *,
+    ngroups: int = 2,
+    mode: str = "replicate",
+    rate: float = 0.1,
+    arrival_seed: int = 0,
+    trace_text: str | None = None,
+    service=None,
+    elastic=None,
+    config_overrides: dict | None = None,
+    faults: FaultPlan | None = None,
+    tracer=None,
+):
+    """Stage a workload and serve it through elastic replication groups.
+
+    The online arrival stream (Poisson at ``rate``, or ``trace_text``)
+    is admitted by the coordinator and routed to ``ngroups`` groups;
+    ``elastic`` (an :class:`repro.hier.ElasticConfig`) schedules group
+    joins/drains and bounds group-loss recovery.  Returns
+    ``(hier_service_result, store, cfg)``.
+    """
+    from repro.hier import HierConfig, run_hier_service
+    from repro.service import poisson_arrivals, trace_arrivals
+
+    _db, queries = build_workload(wl)
+    store, cfg = make_store(wl)
+    if config_overrides:
+        cfg = replace(cfg, **config_overrides)
+    if trace_text is not None:
+        jobs = trace_arrivals(trace_text, queries)
+    else:
+        jobs = poisson_arrivals(queries, rate=rate, seed=arrival_seed)
+    sres = run_hier_service(
+        nprocs, store, cfg, jobs,
+        hier=HierConfig(ngroups=ngroups, mode=mode),
+        service=service, elastic=elastic,
+        platform=platform, faults=faults, tracer=tracer,
+    )
+    return sres, store, cfg
+
+
 def format_table(
     title: str,
     headers: list[str],

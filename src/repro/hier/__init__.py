@@ -12,16 +12,28 @@ group-level result metadata.
 
 Failover is hierarchical too: groups succeed their own sub-master from
 within (the coordinator never notices); the coordinator is succeeded by
-the lowest surviving original sub-master.  Output is byte-identical to
-the serial oracle under any kill schedule that leaves each fragment
-recoverable — the same determinism argument as the flat FT drivers,
-applied per group.
+the lowest surviving member rank — a *live* succession list, so ranks
+promoted to sub-master mid-run are candidates too.  Output is
+byte-identical to the serial oracle under any kill schedule that
+leaves each fragment recoverable — the same determinism argument as
+the flat FT drivers, applied per group.
+
+:mod:`repro.hier.elastic` serves *live traffic* through the hierarchy:
+the coordinator becomes an admission front-end routing service waves
+to elastic groups (runtime join/drain, whole-group-loss recovery with
+re-replication from the shared FS, SLO-preserving degradation when a
+fragment slice is permanently lost).
 
 Usage::
 
     from repro.hier import HierConfig, run_hier
     res = run_hier(nprocs, store, cfg, hier=HierConfig(ngroups=4))
     assert res.report == oracle_bytes
+
+    from repro.hier import ElasticConfig, run_hier_service
+    sres = run_hier_service(nprocs, store, cfg, jobs,
+                            hier=HierConfig(ngroups=4),
+                            elastic=ElasticConfig(joins=((4, 80.0),)))
 """
 
 from __future__ import annotations
@@ -34,6 +46,11 @@ from repro.simmpi.faults import FaultPlan
 from repro.simmpi.launcher import run
 
 from repro.hier.coordinator import run_coordinator
+from repro.hier.elastic import (
+    ElasticConfig,
+    HierServiceResult,
+    run_hier_service,
+)
 from repro.hier.groupmaster import run_group_master, run_group_member
 from repro.hier.topology import (
     GroupSpec,
@@ -43,13 +60,16 @@ from repro.hier.topology import (
 )
 
 __all__ = [
+    "ElasticConfig",
     "GroupSpec",
     "HierConfig",
     "HierResult",
+    "HierServiceResult",
     "HierTopology",
     "MODES",
     "build_topology",
     "run_hier",
+    "run_hier_service",
 ]
 
 

@@ -42,12 +42,14 @@ slice, so a whole dead group degrades the run instead
 when every holder of a fragment dies.
 
 Failover: sub-masters track the coordinator with a
-:class:`repro.parallel.checkpoint.FailoverTracker` over the succession
-list ``[0] + initial sub-masters``; the lowest surviving candidate
-promotes itself, restores the coordinator checkpoint
-(``{checkpoint_dir}/coord``) if one survives, and re-collects the rest
-from the groups' caches.  The monotone-succession abdication rule
-(higher candidate pings win) is the same one the flat drivers use.
+:class:`repro.parallel.checkpoint.FailoverTracker` over the *live*
+succession list ``[0] + every member rank in group order`` (so a
+mid-run-promoted sub-master is a coordinator candidate exactly like
+an original one); the lowest surviving candidate promotes itself,
+restores the coordinator checkpoint (``{checkpoint_dir}/coord``) if
+one survives, and re-collects the rest from the groups' caches.  The
+monotone-succession abdication rule (higher candidate pings win) is
+the same one the flat drivers use.
 """
 
 from __future__ import annotations
@@ -171,7 +173,10 @@ def run_coordinator(
         if not force and sim.now - last_ping < ft.master_tick:
             return
         last_ping = sim.now
-        for r in sorted(set(submaster_of.values()) | set(succession)):
+        # Ping current sub-masters only: the live succession list spans
+        # every member rank, so fanning pings over it would be O(nprocs)
+        # per tick; polls teach us who actually leads each group.
+        for r in sorted(set(submaster_of.values())):
             if r != me:
                 comm.isend(me, dest=r, tag=TAG_HIER_PING)
 

@@ -5,7 +5,14 @@ the sub-master speaks the same idempotent pull-RPC worker protocol the
 flat FT drivers speak (sequence-numbered requests, reply cache,
 deadline-bounded obligations, death-by-silence, lowest-survivor
 adoption of orphaned fragments), while acting as a *client* of the
-coordinator for query batches and write commands.
+coordinator for query batches, service waves (``serve`` — like a
+batch but answered with the selected metas *and* their rendered
+blocks, so the coordinator can merge across groups and write), write
+commands, and fragment re-replication commands (``load`` — adopt
+additional fragment ids into the group's serving set; elastic
+coordinators use it for join-time coverage and group-loss recovery;
+members warm-load the new pieces through the ordinary adoption
+path).
 
 Group protocol (worker driven)::
 
@@ -104,10 +111,10 @@ class _Batch:
 
     __slots__ = (
         "no", "jobs", "need", "got", "t0", "stage", "selected",
-        "need_blocks", "blocks", "write_req",
+        "need_blocks", "blocks", "write_req", "serve",
     )
 
-    def __init__(self, no, jobs, need, write_req=None):
+    def __init__(self, no, jobs, need, write_req=None, serve=False):
         self.no = no
         self.jobs = jobs
         self.need = set(need)
@@ -118,6 +125,7 @@ class _Batch:
         self.need_blocks: set[tuple[int, int]] = set()
         self.blocks: dict[tuple[int, int], bytes] = {}
         self.write_req = write_req  # replicate: ([(qi, off)], epoch)
+        self.serve = serve  # service wave: answer with (meta, block) pairs
 
 
 class _ShardWrite:
@@ -203,7 +211,11 @@ def run_group_master(
     info, frags, index_bytes = partition_database(
         ctx, cfg, topo.group_nfrag_total(gid), reliable=True
     )
-    my_fids = topo.frag_ids(gid)
+    # The serving set is mutable: elastic coordinators grow it with
+    # ``load`` commands (join-time coverage, group-loss re-replication),
+    # drawing pieces from the full partition.
+    my_fids = set(topo.frag_ids(gid))
+    all_frags = frags
     frag_pieces = {fid: frags[fid] for fid in my_fids}
     indexes = {base: parse_index(data) for base, data in index_bytes.items()}
     engine = BlastSearch(cfg.search)
@@ -360,9 +372,12 @@ def run_group_master(
         my_cache[fid] = (batch_no, blist, metas)
 
     # ---- batch pipeline ------------------------------------------------
-    def start_batch(b: int, jobs, write_req=None) -> None:
+    def start_batch(b: int, jobs, write_req=None, serve=False, need=None):
         nonlocal batch
-        batch = _Batch(b, jobs, my_fids, write_req=write_req)
+        batch = _Batch(
+            b, jobs, my_fids if need is None else need,
+            write_req=write_req, serve=serve,
+        )
         batch.t0 = sim.now
         search_out.clear()
 
@@ -382,7 +397,7 @@ def run_group_master(
             )
         merge_acc += sim.now - t0m
         batch.selected = selected
-        if mode == "shard":
+        if mode == "shard" and not batch.serve:
             finish_batch(selected)
             return
         batch.stage = "fetch"
@@ -403,7 +418,20 @@ def run_group_master(
         nonlocal batch
         assert batch is not None
         b, jobs = batch.no, batch.jobs
-        if mode == "shard":
+        if batch.serve:
+            # A service wave: the coordinator merges across groups and
+            # renders, so ship the pruned metas together with their
+            # already-rendered blocks.
+            pairs = {
+                qi: [
+                    (m, batch.blocks[(m.owner_rank, m.local_id)])
+                    for m in sel
+                ]
+                for (qi, _qrec), sel in zip(jobs, batch.selected)
+            }
+            done_batches[b] = {"pairs": pairs}
+            payload = pairs
+        elif mode == "shard":
             payload = payload_or_selected
             done_batches[b] = {"metas": payload}
         else:
@@ -423,7 +451,8 @@ def run_group_master(
         metrics.inc(None, "hier.batches_processed")
         if tracer is not None:
             tracer.span(
-                EV_GROUP, me, batch.t0, sim.now, "batch",
+                EV_GROUP, me, batch.t0, sim.now,
+                "serve" if batch.serve else "batch",
                 gid, b, len(jobs),
             )
         write_req = batch.write_req
@@ -554,6 +583,37 @@ def run_group_master(
             if any(w[0] == b for w in writes_pending):
                 return
             start_batch(b, jobs)
+            return
+        if kind == "serve":
+            b, jobs, fids = data
+            if b in done_batches:
+                outbox.append(
+                    ("result", (gid, b, done_batches[b]["pairs"]))
+                )
+                return
+            if batch is not None or shard_write is not None:
+                return  # keepalive re-offer while busy
+            if any(w[0] == b for w in writes_pending):
+                return
+            start_batch(
+                b, jobs, serve=True,
+                need=my_fids if fids is None else fids,
+            )
+            return
+        if kind == "load":
+            fresh_fids = tuple(f for f in data if f not in my_fids)
+            if fresh_fids:
+                targets = sorted(alive) or [me]
+                for i, f in enumerate(fresh_fids):
+                    my_fids.add(f)
+                    frag_pieces[f] = all_frags[f]
+                    holder[f] = targets[i % len(targets)]
+                report.record(
+                    sim.now, "recover:load-fragments", gid, fresh_fids
+                )
+            # Ack the full request (idempotent under re-delivery); the
+            # actual warm-load rides the members' adoption path.
+            outbox.append(("loaded", (gid, tuple(data))))
             return
         if kind == "write":
             b, jobs, writes, epoch = data
@@ -795,8 +855,9 @@ def run_group_member(
     """Pull-RPC worker inside one group; mirrors the flat FT worker.
 
     Returns its status string; on in-group promotion it *becomes* the
-    sub-master (and possibly, transitively, never the coordinator —
-    mid-run successors are not coordinator candidates).
+    sub-master — and thereby a live coordinator candidate, since the
+    coordinator succession list admits every member rank in group
+    order (see :meth:`HierTopology.coordinator_succession`).
     """
     comm, cost, ft = ctx.comm, cfg.cost, cfg.ft
     report = ctx.fault_report

@@ -29,7 +29,17 @@ Two database placements (the paper's replica-vs-shard trade):
 Failover domains follow the topology: a dead sub-master is succeeded
 from *within its group* (member-rank succession, coordinator not
 involved); a dead coordinator is succeeded by the lowest surviving
-*original* sub-master (succession list ``[0] + submasters``).
+member in group order — a *live* succession list, so a worker promoted
+to sub-master mid-run is a coordinator candidate exactly like an
+original sub-master (the list admits every rank that can ever hold the
+role, and in-group succession order equals rank order).
+
+Elastic runs add **join groups** (``build_topology(..., joins=...)``):
+rank sets carved off the top of the rank space that enter the cluster
+mid-run.  Under ``shard`` a join group owns no slice of the global
+fragment partition at launch — the coordinator assigns it coverage at
+join time — so the global fragment space is defined by the initial
+groups alone.
 """
 
 from __future__ import annotations
@@ -68,11 +78,20 @@ class HierTopology:
     nprocs: int
     mode: str
     groups: tuple[GroupSpec, ...] = field(repr=False)
+    #: gids of join groups: carved out at build time but not part of the
+    #: initial serving set (they enter the cluster mid-run; under
+    #: ``shard`` they own no slice of the global fragment partition).
+    latent: tuple[int, ...] = ()
 
     # ------------------------------------------------------------------
     @property
     def ngroups(self) -> int:
         return len(self.groups)
+
+    @property
+    def initial_groups(self) -> tuple[GroupSpec, ...]:
+        """The groups serving from launch (latent join groups excluded)."""
+        return tuple(g for g in self.groups if g.gid not in self.latent)
 
     def group_of(self, rank: int) -> int | None:
         """Group id of ``rank``; None for the coordinator (rank 0)."""
@@ -89,27 +108,43 @@ class HierTopology:
     def coordinator_succession(self) -> tuple[int, ...]:
         """Coordinator candidates, in promotion order.
 
-        Only *initial* sub-masters are candidates: a worker promoted to
-        sub-master mid-run is not (documented limitation — "lowest
-        surviving sub-master" means the original ones).
+        Every member rank is a candidate, in group order — which is
+        rank order, since groups partition the rank space contiguously.
+        This makes the list *live*: a worker promoted to sub-master
+        mid-run occupies the same position it would need to reach the
+        coordinator role, so succession never dead-ends on a group
+        whose original sub-master is gone.  The walk is silence-paced
+        and bounded by the shared-FS done marker, so candidates that
+        never serve the role cost at most one silence window each.
         """
-        return (0, *self.submasters())
+        return (0, *(r for g in self.groups for r in g.members))
 
     # ---- fragment spaces ---------------------------------------------
     @property
     def total_fragments(self) -> int:
-        """Cluster-wide fragment count in ``shard`` mode."""
-        return sum(g.nfrag for g in self.groups)
+        """Cluster-wide fragment count in ``shard`` mode.
+
+        Defined by the *initial* groups: a latent join group owns no
+        slice until the coordinator assigns it coverage at join time.
+        """
+        return sum(g.nfrag for g in self.initial_groups)
 
     def frag_base(self, gid: int) -> int:
         """First fragment id of group ``gid`` (0 under ``replicate``,
         the slice start under ``shard``)."""
         if self.mode == "replicate":
             return 0
-        return sum(g.nfrag for g in self.groups[:gid])
+        return sum(
+            g.nfrag
+            for g in self.groups[:gid]
+            if g.gid not in self.latent
+        )
 
     def frag_ids(self, gid: int) -> tuple[int, ...]:
-        """The fragment ids group ``gid`` is responsible for."""
+        """The fragment ids group ``gid`` is responsible for at launch
+        (empty for a latent join group under ``shard``)."""
+        if self.mode == "shard" and gid in self.latent:
+            return ()
         base = self.frag_base(gid)
         return tuple(range(base, base + self.groups[gid].nfrag))
 
@@ -123,47 +158,74 @@ class HierTopology:
         return self.total_fragments
 
     def owner_group(self, fid: int) -> int:
-        """Group owning global fragment ``fid`` (``shard`` mode)."""
+        """Group owning global fragment ``fid`` at launch (``shard``)."""
         if self.mode != "shard":
             raise ValueError("owner_group is only meaningful under shard")
-        for g in self.groups:
+        for g in self.initial_groups:
             base = self.frag_base(g.gid)
             if base <= fid < base + g.nfrag:
                 return g.gid
         raise ValueError(f"no group owns fragment {fid}")
 
     # ---- fault-plan role resolution ----------------------------------
-    def role_rank(self, role: str, group: int | None) -> int:
-        """Concrete rank for a role-targeted fault
-        (:meth:`repro.simmpi.faults.FaultPlan.resolve_roles`)."""
+    def role_rank(self, role: str, group: int | None) -> int | tuple[int, ...]:
+        """Concrete rank(s) for a role-targeted fault
+        (:meth:`repro.simmpi.faults.FaultPlan.resolve_roles`).
+
+        ``coordinator``/``submaster`` name one rank; ``group`` names
+        every member of the group — a whole-group kill expands into one
+        :class:`~repro.simmpi.faults.CrashFault` per member.
+        """
         if role == "coordinator":
             return 0
-        if role == "submaster":
+        if role in ("submaster", "group"):
             if group is None or not (0 <= group < self.ngroups):
                 raise ValueError(
                     f"no group {group!r} in a {self.ngroups}-group topology"
                 )
+            if role == "group":
+                return tuple(self.groups[group].members)
             return self.groups[group].submaster
         raise ValueError(f"unknown role {role!r}")
 
 
-def build_topology(nprocs: int, ngroups: int, mode: str) -> HierTopology:
+def build_topology(
+    nprocs: int,
+    ngroups: int,
+    mode: str,
+    joins: tuple[int, ...] = (),
+) -> HierTopology:
     """Partition ``nprocs`` ranks into coordinator + ``ngroups`` groups.
 
     Ranks 1..nprocs-1 are split contiguously; sizes differ by at most
     one (larger groups first).  Every group needs a sub-master plus at
     least one fragment-holding worker, hence ``nprocs >= 2*ngroups+1``.
+
+    ``joins`` reserves rank sets at the *top* of the rank space for
+    elastic join groups (one entry per group, each its member count,
+    each >= 2): those ranks are excluded from the initial partition and
+    appear as latent :class:`GroupSpec`\\ s with gids after the initial
+    groups', in ``joins`` order.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
     if ngroups < 1:
         raise ValueError("ngroups must be >= 1")
-    if nprocs < 2 * ngroups + 1:
+    joins = tuple(joins)
+    if any(j < 2 for j in joins):
+        raise ValueError(
+            f"every join group needs a sub-master and a worker "
+            f"(size >= 2), got {joins}"
+        )
+    reserved = sum(joins)
+    if nprocs - reserved < 2 * ngroups + 1:
         raise ValueError(
             f"{ngroups} groups need at least {2 * ngroups + 1} ranks "
-            f"(coordinator + per-group sub-master and worker), got {nprocs}"
+            f"(coordinator + per-group sub-master and worker"
+            + (f", plus {reserved} reserved for joins" if reserved else "")
+            + f"), got {nprocs}"
         )
-    nmembers = nprocs - 1
+    nmembers = nprocs - 1 - reserved
     base, extra = divmod(nmembers, ngroups)
     groups = []
     start = 1
@@ -173,4 +235,15 @@ def build_topology(nprocs: int, ngroups: int, mode: str) -> HierTopology:
             GroupSpec(gid=gid, members=tuple(range(start, start + size)))
         )
         start += size
-    return HierTopology(nprocs=nprocs, mode=mode, groups=tuple(groups))
+    latent = []
+    for size in joins:
+        gid = len(groups)
+        groups.append(
+            GroupSpec(gid=gid, members=tuple(range(start, start + size)))
+        )
+        latent.append(gid)
+        start += size
+    return HierTopology(
+        nprocs=nprocs, mode=mode, groups=tuple(groups),
+        latent=tuple(latent),
+    )

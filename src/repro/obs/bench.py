@@ -1,11 +1,13 @@
-"""Emit the machine-readable benchmark file (``BENCH_pr9.json``).
+"""Emit the machine-readable benchmark file (``BENCH_pr10.json``).
 
 Runs the paper-regime experiments — the Table-1 32-process comparison,
 the Figure-3(a) scalability sweep, the large np=128..1024 points, the
-flat-vs-hierarchical comparison at np=256/512/1024, and the
+flat-vs-hierarchical comparison at np=256/512/1024, the
 online-service scenario (Poisson arrivals, priority lane on/off, with
-p50/p95/p99 latency and throughput in a ``latency`` section) — with
-metrics and tracing on, and stores each run's
+p50/p95/p99 latency and throughput in a ``latency`` section), and the
+elastic hierarchical-service scenario (the same Poisson stream served
+through replication groups, fault-free and through a whole-group kill)
+— with metrics and tracing on, and stores each run's
 :func:`repro.obs.export.run_metrics` dict (makespan, per-phase maxima,
 counter totals, makespan attribution, critical-path decomposition)
 under ``runs["<program>/np<N>"]``.
@@ -16,6 +18,10 @@ single master is the bottleneck the workers wait on) next to the
 hierarchical runs' worst group-level coordinator-wait share
 (``hier.group_coord_wait_share_max``).  The latter collapsing while
 the former climbs past np=256 is the two-level design doing its job.
+``headline["hier-service"]`` carries the robustness claim: the
+interactive p95 of the stream served *through* a whole-group kill,
+next to the fault-free p95 — the ratio staying under 2x is the
+SLO-preserving-recovery acceptance point (FAULTS.md §5).
 
 Two kinds of time appear in the file and must not be confused:
 
@@ -38,9 +44,9 @@ gapped extension makes the latter routine; see PERFORMANCE.md §2).
 
 The file is the comparison baseline for :mod:`repro.obs.compare`::
 
-    python -m repro.obs.bench --out BENCH_pr9.json          # full (slow)
+    python -m repro.obs.bench --out BENCH_pr10.json         # full (slow)
     python -m repro.obs.bench --quick --out /tmp/now.json   # CI-sized
-    python -m repro.obs.compare BENCH_pr9.json /tmp/now.json
+    python -m repro.obs.compare BENCH_pr10.json /tmp/now.json
 
 ``--quick`` shrinks the workload, the process counts, and the kernel
 databases so the sweep finishes in seconds; quick files are only
@@ -139,6 +145,25 @@ SERVICE_ADMISSION_DELAY = 20.0
 #: The workload's sampled queries run 160-340 residues; 210 puts
 #: roughly the shortest third on the interactive lane.
 SERVICE_INTERACTIVE_MAX_LEN = 210
+
+#: Elastic hierarchical-service scenario: the same Poisson stream
+#: served through K replication groups, once fault-free and once with
+#: a whole group (sub-master included) killed mid-stream.  Both runs
+#: share the arrival seed, so their p95 columns are directly
+#: comparable; ``headline["hier-service"]`` records the ratio (the
+#: acceptance point is < 2x — recovery must preserve the latency SLO,
+#: not merely the bytes).
+HIER_SERVICE_NP = 32
+HIER_SERVICE_NP_QUICK = 17
+HIER_SERVICE_GROUPS = 4
+HIER_SERVICE_GROUPS_QUICK = 3
+HIER_SERVICE_KILL = "crash=group:g1@40"
+#: Work-redispatch patience (ElasticConfig.redispatch_timeout): a bit
+#: above the healthy per-wave service time under the paper-regime
+#: costs, and far below the group-death silence budget the stretched
+#: FT timeouts imply — this is what keeps the p95 through the kill
+#: inside the SLO instead of waiting out a liveness deadline.
+HIER_SERVICE_REDISPATCH = 90.0
 
 
 def kernel_scenarios(
@@ -328,7 +353,63 @@ def bench_document(
                 f" throughput {lat['throughput_qps']:.3f} q/s, "
                 f"host {host_s:.2f}s"
             )
+    hs_np = HIER_SERVICE_NP_QUICK if quick else HIER_SERVICE_NP
+    hs_groups = HIER_SERVICE_GROUPS_QUICK if quick else HIER_SERVICE_GROUPS
+    hs_latency: dict[str, dict] = {}
+    for label, fault_spec in (("plain", None), ("groupkill",
+                                                HIER_SERVICE_KILL)):
+        from repro.experiments.common import run_hier_service_raw
+        from repro.hier import ElasticConfig
+        from repro.service import ServiceConfig
+        from repro.simmpi import FaultPlan
+
+        tracer = Tracer() if trace else None
+        t0 = time.perf_counter()
+        sres, _store, _cfg = run_hier_service_raw(
+            hs_np, wl, ORNL_ALTIX,
+            ngroups=hs_groups, mode=HIER_MODE,
+            rate=service_rate, arrival_seed=SERVICE_SEED,
+            service=ServiceConfig(
+                max_wave=SERVICE_MAX_WAVE,
+                max_scan_defer=SERVICE_MAX_SCAN_DEFER,
+                interactive_max_len=SERVICE_INTERACTIVE_MAX_LEN,
+                admission_delay=SERVICE_ADMISSION_DELAY,
+            ),
+            elastic=ElasticConfig(
+                redispatch_timeout=HIER_SERVICE_REDISPATCH
+            ),
+            faults=FaultPlan.parse(fault_spec) if fault_spec else None,
+            tracer=tracer,
+        )
+        host_s = time.perf_counter() - t0
+        name = f"hier-service-{label}/np{hs_np}"
+        runs[name] = run_metrics(sres.result, program="hier-service")
+        runs[name]["host_s"] = host_s
+        hs_latency[label] = sres.latency
+        if verbose:
+            lat = sres.latency
+            print(
+                f"{name}: {lat['all']['count']} queries in "
+                f"{sres.waves} waves, K={hs_groups}, p95 "
+                f"{lat['all']['p95_s']:.1f}s, "
+                f"{sres.degraded_queries} degraded, "
+                f"{sres.regroups} regroups, host {host_s:.2f}s"
+            )
     headline: dict[str, dict] = {}
+
+    def _p95(lat: dict) -> float:
+        inter = lat.get("lanes", {}).get("interactive") or {}
+        return inter.get("p95_s", lat["all"]["p95_s"])
+
+    hs_plain, hs_kill = hs_latency["plain"], hs_latency["groupkill"]
+    headline["hier-service"] = {
+        "nprocs": hs_np,
+        "groups": hs_groups,
+        "fault": HIER_SERVICE_KILL,
+        "fault_free_p95_s": _p95(hs_plain),
+        "groupkill_p95_s": _p95(hs_kill),
+        "p95_ratio": _p95(hs_kill) / max(_p95(hs_plain), 1e-12),
+    }
     for nprocs, ngroups in hier_points:
         entry: dict = {"hier_groups": ngroups}
         for program in ("mpiblast", "pioblast"):
@@ -359,6 +440,15 @@ def bench_document(
                 "max_wave": SERVICE_MAX_WAVE,
                 "max_scan_defer": SERVICE_MAX_SCAN_DEFER,
                 "interactive_max_len": SERVICE_INTERACTIVE_MAX_LEN,
+            },
+            "hier_service": {
+                "nprocs": hs_np,
+                "groups": hs_groups,
+                "mode": HIER_MODE,
+                "rate": service_rate,
+                "seed": SERVICE_SEED,
+                "fault": HIER_SERVICE_KILL,
+                "redispatch_timeout": HIER_SERVICE_REDISPATCH,
             },
         },
         "headline": headline,
@@ -398,7 +488,7 @@ def main(argv: list[str] | None = None) -> int:
             "write bench JSON."
         ),
     )
-    ap.add_argument("--out", default="BENCH_pr9.json")
+    ap.add_argument("--out", default="BENCH_pr10.json")
     ap.add_argument("--quick", action="store_true",
                     help="small workload + few process counts (CI)")
     ap.add_argument("--no-trace", action="store_true",

@@ -59,6 +59,15 @@ Kinds
     (``name == "write"``); args are ``(gid, batch_no, nqueries)``.
     Emitted by the sub-master's rank; like ``query``, not consumed by
     the critical-path walker.
+``regroup``
+    span — one elastic membership event in a hierarchical service run
+    (:mod:`repro.hier.elastic`): a group entering the routing table
+    (``name == "join"``), draining out (``"drain"``), a lost fragment
+    slice re-replicated onto a surviving group (``"rereplicate"``), or
+    a slice declared permanently lost after the recovery budget is
+    exhausted (``"loss"``); args are ``(gid, fids)``.  Emitted by the
+    coordinator's rank; like ``group``, not consumed by the
+    critical-path walker.
 ``query``
     span — one query's life inside the online service
     (:mod:`repro.service`): ``t0`` is its arrival, ``t1`` its report
@@ -88,6 +97,7 @@ EV_KILL = "fault.kill"
 EV_CKPT = "ckpt"
 EV_QUERY = "query"
 EV_GROUP = "group"
+EV_REGROUP = "regroup"
 
 #: Rank used for events emitted from scheduler actions (no rank thread).
 SCHEDULER_RANK = -1
@@ -95,7 +105,7 @@ SCHEDULER_RANK = -1
 #: Kinds whose events are spans (``t1 >= t0``); the rest are instants.
 SPAN_KINDS = frozenset(
     {EV_WAIT, EV_IO, EV_IO_COLL, EV_PHASE, EV_COLL, EV_CKPT, EV_QUERY,
-     EV_GROUP}
+     EV_GROUP, EV_REGROUP}
 )
 
 

@@ -1,6 +1,6 @@
 """Crash-consistent master checkpoint/restart + failover succession.
 
-FAULTS.md §6 used to concede that the master was a single point of
+FAULTS.md §8 used to concede that the master was a single point of
 failure: it holds the assignment state, the received result metadata and
 the output layout, all in memory.  This module removes that gap with two
 cooperating pieces, both driver-agnostic:

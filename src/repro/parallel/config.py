@@ -123,7 +123,7 @@ class ParallelConfig:
     fault_tolerance: bool = False
     ft: FTParams = field(default_factory=FTParams)
     # Master checkpoint/restart (see repro.parallel.checkpoint and
-    # FAULTS.md §7): every checkpoint_interval virtual seconds the FT
+    # FAULTS.md §4): every checkpoint_interval virtual seconds the FT
     # master snapshots its scheduler state to checkpoint_dir on the
     # shared filesystem with a crash-consistent write.  0 disables
     # periodic saves; a promoted master always *looks* for checkpoints,

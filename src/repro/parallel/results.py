@@ -69,6 +69,28 @@ def merge_select(
     return sorted(metas, key=AlignmentMeta.sort_key)[:max_alignments]
 
 
+def dedupe_candidates(
+    pairs: "list[tuple[AlignmentMeta, bytes]]",
+) -> "list[tuple[AlignmentMeta, bytes]]":
+    """Drop duplicate ``(meta, block)`` candidates by fragment identity.
+
+    Overlapping coverage — a redispatched wave part answered twice, or
+    a re-replicated fragment slice served by more than one group —
+    yields candidates that share ``(owner_rank, local_id)``.  Rendering
+    is deterministic, so duplicates are byte-identical; keeping the
+    first occurrence preserves the ranking the selection step sees.
+    """
+    seen: set[tuple[int, int]] = set()
+    out: list[tuple[AlignmentMeta, bytes]] = []
+    for m, blk in pairs:
+        key = (m.owner_rank, m.local_id)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append((m, blk))
+    return out
+
+
 def select_metas(
     ctx,
     cost,

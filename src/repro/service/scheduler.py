@@ -43,6 +43,11 @@ class ServiceConfig:
     interactive_max_len: int = 120
     #: a scan bypassed this many times is forced into the next wave
     max_scan_defer: int = 4
+    #: admission backpressure: arrivals beyond this many queued queries
+    #: are shed (answered with a shed notice instead of searched);
+    #: 0 disables shedding.  Only drivers that support shedding (the
+    #: hierarchical service) honour it.
+    shed_threshold: int = 0
 
     def __post_init__(self) -> None:
         if self.max_wave < 1:
@@ -54,6 +59,10 @@ class ServiceConfig:
         if self.max_scan_defer < 1:
             raise ValueError(
                 f"max_scan_defer must be >= 1, got {self.max_scan_defer}"
+            )
+        if self.shed_threshold < 0:
+            raise ValueError(
+                f"shed_threshold must be >= 0, got {self.shed_threshold}"
             )
 
     def lane_for(self, record: SeqRecord) -> str:

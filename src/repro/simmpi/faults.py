@@ -60,23 +60,26 @@ class CrashFault:
 
 
 #: Role names :class:`RoleCrashFault` accepts.
-CRASH_ROLES = ("coordinator", "submaster")
+CRASH_ROLES = ("coordinator", "submaster", "group")
 
 
 @dataclass(frozen=True)
 class RoleCrashFault:
-    """Kill whichever rank initially holds ``role`` at time ``time``.
+    """Kill whichever rank(s) initially hold ``role`` at time ``time``.
 
-    Chaos tests target "the coordinator" or "group 2's sub-master"
-    without hardcoding rank numbers — the topology decides those.  Only
-    a hierarchical driver knows the role→rank mapping, so these specs
-    must be rewritten into concrete :class:`CrashFault` events with
-    :meth:`FaultPlan.resolve_roles` before the run starts; activating a
-    plan that still contains role kills raises :exc:`SimError`.
+    Chaos tests target "the coordinator", "group 2's sub-master" or
+    "all of group 2" without hardcoding rank numbers — the topology
+    decides those.  Only a hierarchical driver knows the role→rank
+    mapping, so these specs must be rewritten into concrete
+    :class:`CrashFault` events with :meth:`FaultPlan.resolve_roles`
+    before the run starts; activating a plan that still contains role
+    kills raises :exc:`SimError`.  The ``group`` role resolves to
+    *every* member rank of the group — one crash per member, the
+    whole-group-loss scenario the elastic hierarchy recovers from.
     """
 
     role: str  # one of CRASH_ROLES
-    group: int | None  # the sub-master's group id; None for coordinator
+    group: int | None  # the targeted group id; None for coordinator
     time: float
 
 
@@ -301,11 +304,11 @@ class FaultPlan:
                         f"unknown crash role {ev.role!r} "
                         f"(valid roles: {', '.join(CRASH_ROLES)})"
                     )
-                if ev.role == "submaster" and (
+                if ev.role in ("submaster", "group") and (
                     ev.group is None or ev.group < 0
                 ):
                     raise ValueError(
-                        f"submaster crash needs a group id >= 0: {ev}"
+                        f"{ev.role} crash needs a group id >= 0: {ev}"
                     )
                 if ev.role == "coordinator" and ev.group is not None:
                     raise ValueError(
@@ -411,6 +414,7 @@ class FaultPlan:
             kill=R@T                   crash rank R at time T
             crash=coordinator@T        crash the hierarchy coordinator
             crash=submaster:gN@T       crash group N's sub-master
+            crash=group:gN@T           crash every member of group N
                                        (role kills resolve to ranks via
                                        FaultPlan.resolve_roles; only
                                        hierarchical runs accept them)
@@ -455,19 +459,21 @@ class FaultPlan:
                     events.append(
                         RoleCrashFault("coordinator", None, float(t))
                     )
-                elif role.startswith("submaster:g"):
-                    gid = role[len("submaster:g"):]
+                elif role.startswith("submaster:g") or role.startswith(
+                    "group:g"
+                ):
+                    rname, gid = role.split(":g", 1)
                     try:
                         group = int(gid)
                     except ValueError:
                         raise ValueError(
-                            f"bad submaster group {gid!r} in {tok!r}"
+                            f"bad {rname} group {gid!r} in {tok!r}"
                         ) from None
                     events.append(
-                        RoleCrashFault("submaster", group, float(t))
+                        RoleCrashFault(rname, group, float(t))
                     )
                 else:
-                    valid = "coordinator, submaster:g<N>"
+                    valid = "coordinator, submaster:g<N>, group:g<N>"
                     raise ValueError(
                         f"unknown crash role {role!r} (valid roles: {valid})"
                     )
@@ -525,23 +531,29 @@ class FaultPlan:
         return [e for e in self.events if isinstance(e, RoleCrashFault)]
 
     def resolve_roles(
-        self, resolver: "Callable[[str, int | None], int]"
+        self,
+        resolver: "Callable[[str, int | None], int | tuple[int, ...]]",
     ) -> "FaultPlan":
         """Rewrite role-targeted kills into concrete rank crashes.
 
         ``resolver(role, group)`` maps e.g. ``("submaster", 2)`` to the
         rank the topology placed in that role (raising on unknown
-        groups).  Plans without role kills are returned unchanged.
+        groups).  A resolver may return a *tuple* of ranks — the
+        ``group`` role names every member of a replication group — in
+        which case the spec expands into one :class:`CrashFault` per
+        rank.  Plans without role kills are returned unchanged.
         """
         if not self.role_crashes():
             return self
-        events = tuple(
-            CrashFault(resolver(ev.role, ev.group), ev.time)
-            if isinstance(ev, RoleCrashFault)
-            else ev
-            for ev in self.events
-        )
-        return FaultPlan(events=events, seed=self.seed)
+        events: list[FaultEventSpec] = []
+        for ev in self.events:
+            if not isinstance(ev, RoleCrashFault):
+                events.append(ev)
+                continue
+            target = resolver(ev.role, ev.group)
+            ranks = (target,) if isinstance(target, int) else tuple(target)
+            events.extend(CrashFault(r, ev.time) for r in ranks)
+        return FaultPlan(events=tuple(events), seed=self.seed)
 
     # -- activation -----------------------------------------------------
     def activate(self, cluster: "Cluster") -> "ActiveFaults":

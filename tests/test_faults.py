@@ -107,10 +107,13 @@ class TestFaultPlan:
             FaultPlan(events=(StragglerFault(1, 0.0),))
 
     def test_parse_role_kills(self):
-        plan = FaultPlan.parse("crash=coordinator@5, crash=submaster:g2@40")
-        coord, sub = plan.role_crashes()
+        plan = FaultPlan.parse(
+            "crash=coordinator@5, crash=submaster:g2@40, crash=group:g1@60"
+        )
+        coord, sub, grp = plan.role_crashes()
         assert (coord.role, coord.group, coord.time) == ("coordinator", None, 5.0)
         assert (sub.role, sub.group, sub.time) == ("submaster", 2, 40.0)
+        assert (grp.role, grp.group, grp.time) == ("group", 1, 60.0)
 
     def test_resolve_roles_rewrites_to_concrete_ranks(self):
         from repro.hier import build_topology
@@ -130,11 +133,28 @@ class TestFaultPlan:
         plain = FaultPlan.parse("kill=4@1")
         assert plain.resolve_roles(topo.role_rank) is plain
 
+    def test_resolve_group_role_expands_to_every_member(self):
+        from repro.hier import build_topology
+
+        topo = build_topology(13, 3, "replicate")
+        plan = FaultPlan.parse("crash=group:g1@6")
+        resolved = plan.resolve_roles(topo.role_rank)
+        assert resolved.role_crashes() == []
+        # A whole-group kill is one CrashFault per member rank — the
+        # group-loss scenario the elastic hierarchy recovers from.
+        assert resolved.crashes() == [
+            CrashFault(r, 6.0) for r in topo.groups[1].members
+        ]
+
     def test_role_kill_validation(self):
         with pytest.raises(ValueError, match="unknown crash role"):
             FaultPlan.parse("crash=viceroy@5")
         with pytest.raises(ValueError, match="bad submaster group"):
             FaultPlan.parse("crash=submaster:gX@5")
+        with pytest.raises(ValueError, match="bad group group"):
+            FaultPlan.parse("crash=group:gX@5")
+        with pytest.raises(ValueError, match="group:g<N>"):
+            FaultPlan.parse("crash=quorum@5")
         with pytest.raises(ValueError, match="crash in the past"):
             FaultPlan.parse("crash=coordinator@-1")
 
@@ -431,7 +451,7 @@ class TestFTPioblast:
     def test_revival_after_final_relayout_absorbs_duplicates(
         self, staged, serial_reference
     ):
-        """FAULTS.md §6 regression: a straggler slow enough to be
+        """FAULTS.md §8 regression: a straggler slow enough to be
         declared dead whose result arrives *after* the final output
         relayout is revived, but its late result is absorbed as a
         duplicate — the report is not re-grown and the already-written

@@ -63,9 +63,18 @@ class TestTopology:
         with pytest.raises(ValueError):
             topo.group_of(13)
 
-    def test_coordinator_succession_is_original_submasters(self):
+    def test_coordinator_succession_is_live_member_list(self):
+        # The live list admits *every* member rank in group order (rank
+        # order), so a worker promoted to sub-master mid-run is a
+        # coordinator candidate exactly like an original sub-master.
         topo = build_topology(13, 3, "replicate")
-        assert topo.coordinator_succession() == (0, *topo.submasters())
+        members = tuple(r for g in topo.groups for r in g.members)
+        assert topo.coordinator_succession() == (0, *members)
+        assert topo.coordinator_succession() == tuple(range(13))
+        # Original sub-masters keep their relative order inside it.
+        succ = topo.coordinator_succession()
+        positions = [succ.index(s) for s in topo.submasters()]
+        assert positions == sorted(positions)
 
     def test_validation(self):
         with pytest.raises(ValueError, match="mode"):
